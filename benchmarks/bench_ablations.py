@@ -1,0 +1,32 @@
+"""Sections 3.4/3.5 — per-optimization ablation measurements."""
+
+from repro.figures import ablations
+
+
+def test_ablations(benchmark):
+    res = benchmark.pedantic(ablations.compute, rounds=1, iterations=1)
+    print("\n" + ablations.render(res))
+    # Pre-registration removes most registrations.
+    assert res.registrations_opt < res.registrations_baseline / 2
+    assert res.registration_time_saved > 0
+    # Message combine halves the MPI border-exchange wire messages.
+    assert 0.3 < res.combine_saving < 0.7
+    # Border bins cut per-atom region tests by > 4x.
+    assert res.bins_test_reduction > 4
+
+
+def test_mdrun_engine_throughput(benchmark):
+    """A real-engine throughput number: atom-steps/second of the full
+    optimized pipeline on this machine (context for the figures)."""
+    from repro import quick_lj_simulation
+
+    sim = quick_lj_simulation(
+        cells=(6, 6, 6), ranks=(2, 2, 2), pattern="parallel-p2p", rdma=True
+    )
+    sim.setup()
+
+    def ten_steps():
+        sim.run(10)
+
+    benchmark.pedantic(ten_steps, rounds=3, iterations=1)
+    assert sim.step_count >= 30

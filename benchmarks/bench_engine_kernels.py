@@ -1,0 +1,90 @@
+"""Engine-kernel throughput: the substrate's own performance numbers.
+
+Not a paper figure — these benchmark the building blocks (neighbor-list
+construction, LJ/EAM force kernels, the exchange phases) so regressions
+in the engine itself are caught and the absolute cost of the functional
+layer is documented alongside the simulated-Fugaku results.
+"""
+
+import numpy as np
+import pytest
+
+from repro import LennardJones, quick_lj_simulation
+from repro.md.atoms import Atoms
+from repro.md.lattice import fcc_lattice, lj_density_to_cell, maxwell_velocities
+from repro.md.neighbor import build_pairs
+from repro.md.potentials import SuttonChenEAM
+
+
+@pytest.fixture(scope="module")
+def lj_system():
+    edge = lj_density_to_cell(0.8442)
+    x, box = fcc_lattice((10, 10, 10), edge)  # 4000 atoms
+    rng = np.random.default_rng(0)
+    x = box.wrap(x + rng.normal(0, 0.05, x.shape))
+    atoms = Atoms(capacity=x.shape[0])
+    atoms.set_local(x, np.zeros_like(x), np.arange(x.shape[0], dtype=np.int64))
+    return atoms, box
+
+
+def test_neighbor_build_throughput(benchmark, lj_system):
+    atoms, _ = lj_system
+    i, j = benchmark(build_pairs, atoms.x, atoms.nlocal, 2.8)
+    # ~2.8-cutoff LJ liquid: ~38 half-pairs per atom
+    assert 25 * atoms.nlocal < i.size < 60 * atoms.nlocal
+
+
+def test_lj_force_kernel_throughput(benchmark, lj_system):
+    atoms, _ = lj_system
+    lj = LennardJones(cutoff=2.5)
+    i, j = build_pairs(atoms.x, atoms.nlocal, 2.8)
+
+    def kernel():
+        atoms.zero_forces()
+        return lj.compute(atoms, i, j)
+
+    res = benchmark(kernel)
+    assert res.energy < 0  # cohesive liquid
+
+
+def test_eam_force_kernel_throughput(benchmark):
+    x, box = fcc_lattice((7, 7, 7), 3.615)  # 1372 Cu atoms
+    atoms = Atoms(capacity=x.shape[0])
+    atoms.set_local(x, np.zeros_like(x), np.arange(x.shape[0], dtype=np.int64))
+    pot = SuttonChenEAM(cutoff=4.95)
+    # ghosts via periodic images aren't needed for a throughput bench;
+    # interior pairs suffice.
+    i, j = build_pairs(atoms.x, atoms.nlocal, 4.95)
+
+    def kernel():
+        atoms.zero_forces()
+        return pot.compute(atoms, i, j)
+
+    res = benchmark(kernel)
+    assert np.isfinite(res.energy)
+
+
+def test_border_exchange_throughput(benchmark):
+    sim = quick_lj_simulation(cells=(8, 8, 8), ranks=(2, 2, 2), pattern="p2p")
+    sim.setup()
+
+    def borders():
+        sim.exchange.borders()
+
+    benchmark(borders)
+    assert sim.atoms_of(0).nghost > 0
+
+
+def test_forward_exchange_throughput(benchmark):
+    sim = quick_lj_simulation(cells=(8, 8, 8), ranks=(2, 2, 2), pattern="p2p")
+    sim.setup()
+    benchmark(sim.exchange.forward)
+
+
+def test_full_step_throughput(benchmark):
+    sim = quick_lj_simulation(
+        cells=(6, 6, 6), ranks=(2, 2, 2), pattern="parallel-p2p", rdma=True
+    )
+    sim.setup()
+    benchmark(sim.step)
+    assert sim.total_local_atoms() == sim.natoms

@@ -1,0 +1,18 @@
+"""Equations (3)-(8) — the section 3.1 analytic timing model."""
+
+from repro.figures import eqs
+
+
+def test_equations(benchmark):
+    res = benchmark(eqs.compute)
+    print("\n" + eqs.render(res))
+    # The paper's two analytic conclusions:
+    assert res.utofu_p2p_wins  # p2p beats 3-stage under uTofu
+    assert res.mpi_naive_p2p_loses  # but naive MPI p2p is a regression
+
+
+def test_parallel_dominates_within_pattern(benchmark):
+    res = benchmark(eqs.compute)
+    for tm in (res.mpi, res.utofu):
+        assert tm.three_stage_parallel <= tm.three_stage_opt <= tm.three_stage_naive
+        assert tm.p2p_parallel <= tm.p2p_opt <= tm.p2p_naive

@@ -1,0 +1,32 @@
+"""Fig. 12 — step-by-step optimization results at 768 nodes."""
+
+from repro.figures import fig12
+
+
+def test_fig12(benchmark, stage_model):
+    res = benchmark(fig12.compute, model=stage_model)
+    print("\n" + fig12.render(res))
+
+    # Fig. 12a bands (paper: 3.01x, 2.45x, 1.6x, 1.4x)
+    assert 2.2 <= res.speedup("lj-65k", "opt") <= 4.2
+    assert 1.8 <= res.speedup("eam-65k", "opt") <= 4.0
+    assert 1.2 <= res.speedup("lj-1.7m", "opt") <= 2.6
+    assert 1.1 <= res.speedup("eam-1.7m", "opt") <= 2.0
+
+    # Orderings within the 65K panel
+    s = {v: res.speedup("lj-65k", v) for v in ("utofu_3stage", "4tni_p2p", "6tni_p2p", "opt")}
+    assert s["6tni_p2p"] < s["4tni_p2p"], "6TNI single-thread must be 'abnormally poor'"
+    assert s["opt"] == max(s.values())
+
+    # Fig. 12b: comm reduction ~77 %
+    assert 0.65 <= res.comm_reduction("lj-65k") <= 0.88
+
+    # Fig. 12c: pair-stage reductions (paper: 43 % LJ, 56 % EAM at 65K)
+    assert 0.30 <= res.pair_reduction("lj-65k") <= 0.75
+    assert 0.35 <= res.pair_reduction("eam-65k") <= 0.80
+
+
+def test_fig12_gains_shrink_with_system_size(benchmark, stage_model):
+    res = benchmark(fig12.compute, model=stage_model)
+    assert res.speedup("lj-1.7m", "opt") < res.speedup("lj-65k", "opt")
+    assert res.speedup("eam-1.7m", "opt") < res.speedup("eam-65k", "opt")

@@ -1,0 +1,51 @@
+"""Fig. 13 + Table 3 — strong scaling to 36 864 nodes."""
+
+from repro.figures import fig13
+from repro.perfmodel.scaling import performance_per_day
+
+
+def test_fig13_strong_scaling(benchmark, stage_model):
+    res = benchmark(fig13.compute, model=stage_model)
+    print("\n" + fig13.render(res))
+
+    # Headline speedups (paper: 2.9x LJ, 2.2x EAM)
+    assert 2.2 <= res.speedup_last("lj") <= 3.8
+    assert 1.7 <= res.speedup_last("eam") <= 3.2
+
+    # Optimized code holds parallel efficiency better at every point.
+    for pot in ("lj", "eam"):
+        e_ref = res.efficiency(pot, "ref")
+        e_opt = res.efficiency(pot, "opt")
+        assert all(o >= r for o, r in zip(e_opt[1:], e_ref[1:]))
+
+    # Performance headline order of magnitude (8.77 Mtau/day, 2.87 us/day)
+    lj_mtau = performance_per_day(res.curves[("lj", "opt")][-1], 0.005) / 1e6
+    eam_us = performance_per_day(res.curves[("eam", "opt")][-1], 0.005) / 1e6
+    assert 3 < lj_mtau < 40
+    assert 1 < eam_us < 15
+
+
+def test_table3_breakdown(benchmark, stage_model):
+    res = benchmark(fig13.compute, model=stage_model)
+    lj_ref = res.curves[("lj", "ref")][-1].result
+    lj_opt = res.curves[("lj", "opt")][-1].result
+    eam_ref = res.curves[("eam", "ref")][-1].result
+    eam_opt = res.curves[("eam", "opt")][-1].result
+
+    # Origin-LJ: Comm dominates (paper 64.85 %)
+    assert 55 <= lj_ref.percent("Comm") <= 80
+    # Opt-LJ: Comm reduced but still the largest stage (paper 43.67 %)
+    assert 35 <= lj_opt.percent("Comm") <= 60
+    # Origin-EAM: Pair is the largest stage (paper 43.44 %)
+    assert eam_ref.stages["Pair"] == max(eam_ref.stages.values())
+    # Opt-EAM: Other exceeds Comm (paper 31.84 % > 20.02 %)
+    assert eam_opt.stages["Other"] > eam_opt.stages["Comm"]
+
+
+def test_fig13b_pair_reduction_at_last_point(benchmark, stage_model):
+    """Paper: pair time drops 40 % (LJ) / 57 % (EAM) at 36 864 nodes."""
+    res = benchmark(fig13.compute, model=stage_model)
+    for pot, lo, hi in (("lj", 0.3, 0.75), ("eam", 0.4, 0.80)):
+        p_ref = res.curves[(pot, "ref")][-1].result.stages["Pair"]
+        p_opt = res.curves[(pot, "opt")][-1].result.stages["Pair"]
+        assert lo <= 1 - p_opt / p_ref <= hi

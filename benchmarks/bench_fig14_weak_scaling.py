@@ -1,0 +1,23 @@
+"""Fig. 14 — weak scaling to 20 736 nodes / 99 billion atoms."""
+
+import pytest
+
+from repro.figures import fig14
+
+
+def test_fig14_weak_scaling(benchmark, stage_model):
+    res = benchmark(fig14.compute, model=stage_model)
+    print("\n" + fig14.render(res))
+    # Near-linear scaling (paper: 'increases almost linearly').
+    assert res.linearity("lj") > 0.9
+    assert res.linearity("eam") > 0.9
+    # Final sizes: 99 G and 72 G atoms.
+    assert res.curves["lj"][-1].natoms == pytest.approx(99.5e9, rel=0.01)
+    assert res.curves["eam"][-1].natoms == pytest.approx(71.7e9, rel=0.01)
+
+
+def test_fig14_step_time_flat(benchmark, stage_model):
+    res = benchmark(fig14.compute, model=stage_model)
+    for pot in ("lj", "eam"):
+        t = [p.step_time for p in res.curves[pot]]
+        assert max(t) / min(t) < 1.15

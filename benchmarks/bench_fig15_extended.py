@@ -1,0 +1,22 @@
+"""Fig. 15 — extended neighborhoods: 26 / 62 / 124 messages per stage."""
+
+from repro.figures import fig15
+
+
+def test_fig15(benchmark):
+    res = benchmark(fig15.compute)
+    print("\n" + fig15.render(res))
+    wins = res.wins()
+    assert wins[26], "p2p must win with 26 neighbors (full lists)"
+    assert wins[62], "p2p must win with 62 neighbors (long cutoff, Newton)"
+    assert not wins[124], "3-stage must win with 124 neighbors (n^2 growth)"
+
+
+def test_fig15_growth_rates(benchmark):
+    """3-stage cost grows ~linearly with radius, p2p ~quadratically."""
+    res = benchmark(fig15.compute)
+    s26, s62, s124 = res.scenarios
+    # p2p time grows superlinearly from 26 -> 124 neighbors
+    assert s124.p2p_time / s26.p2p_time > 124 / 26 * 0.8
+    # 3-stage grows far slower than the neighbor count
+    assert s124.three_stage_time / s26.three_stage_time < 4.0

@@ -1,0 +1,25 @@
+"""Fig. 6 — ghost-exchange transmission times of five implementations."""
+
+from repro.figures import fig6
+
+
+def test_fig6(benchmark, stage_model):
+    res = benchmark(fig6.compute, model=stage_model)
+    print("\n" + fig6.render(res))
+    t65 = res.times["lj-65k"]
+    # Orderings of the published bars:
+    assert t65["mpi_p2p"] > t65["ref"], "naive MPI p2p must lose"
+    assert t65["utofu_3stage"] < t65["ref"]
+    assert t65["4tni_p2p"] < t65["utofu_3stage"]
+    # 79 % reduction headline, generous band
+    assert 0.65 < res.reduction("lj-65k") < 0.95
+    # uTofu p2p vs uTofu 3-stage ~1.5x
+    assert 1.2 < res.utofu_ratio("lj-65k") < 2.2
+
+
+def test_fig6_1m7_p2p_still_wins(benchmark, stage_model):
+    """Section 4.2: at 1.7M every p2p implementation beats 3-stage."""
+    res = benchmark(fig6.compute, model=stage_model)
+    t = res.times["lj-1.7m"]
+    assert t["4tni_p2p"] < t["utofu_3stage"]
+    assert t["opt"] < t["utofu_3stage"]

@@ -1,0 +1,25 @@
+"""Fig. 8 — message rate and bandwidth vs message size."""
+
+from repro.figures import fig8
+
+
+def test_fig8(benchmark):
+    res = benchmark(fig8.compute)
+    print("\n" + fig8.render(res))
+    # Paper: parallel gains >= 50 % for messages under 512 B.
+    for size in (8, 32, 128, 256, 512):
+        assert res.parallel_gain(size) >= 1.5, f"no parallel gain at {size}B"
+    # Paper: single-thread 6 TNI below single-thread 4 TNI (small msgs).
+    for size in (8, 256, 512):
+        k = res.sizes.index(size)
+        assert res.rates["single-6tni"][k] < res.rates["single-4tni"][k]
+
+
+def test_fig8_bandwidth_saturates(benchmark):
+    res = benchmark(fig8.compute)
+    bw = res.bandwidths["single-4tni"]
+    # Large messages approach (but never exceed) the per-link ceilings.
+    assert bw[-1] > 0.8 * bw[-2]
+    from repro.machine import FUGAKU
+
+    assert bw[-1] * 1e9 <= 4 * FUGAKU.link_bandwidth * 1.01  # 4 ranks x 1 TNI

@@ -1,0 +1,15 @@
+"""Calibration sensitivity — robustness of the reproduction's claims."""
+
+from repro.perfmodel.sensitivity import render, sweep
+
+
+def test_sensitivity_sweep(benchmark):
+    rows = benchmark.pedantic(
+        sweep, kwargs={"factors": (0.5, 1.0, 2.0)}, rounds=1, iterations=1
+    )
+    print("\n" + render(rows))
+    # The reproduction's headline claims must hold across a 4x span of
+    # every estimated constant — otherwise the result is a fit artifact.
+    for row in rows:
+        for factor, claims in row.results.items():
+            assert claims.all_hold, f"{row.name} x{factor}: {claims.failed()}"

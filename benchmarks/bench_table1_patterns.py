@@ -1,0 +1,33 @@
+"""Table 1 — communication-pattern analysis regeneration."""
+
+import pytest
+
+from repro.figures import table1
+
+
+def test_table1(benchmark):
+    res = benchmark(table1.compute)
+    print("\n" + table1.render(res))
+    # Table 1 structure
+    assert res.three_stage.total_messages == 6
+    assert res.p2p.total_messages == 13
+    # Newton's-law halving
+    assert res.volume_ratio == pytest.approx(0.5)
+
+
+def test_table1_is_scale_free(benchmark):
+    """The 0.5 ratio and message counts hold across the radius-1 regime
+    (cutoff <= sub-box side; longer cutoffs are the Fig. 15 scenarios)."""
+
+    def sweep():
+        out = []
+        for a in (0.5, 2.0, 8.0):
+            for r in (0.3, 1.0, 3.0):
+                if r <= a:
+                    out.append(table1.compute(a=a, r=r))
+        return out
+
+    results = benchmark(sweep)
+    for res in results:
+        assert res.volume_ratio == pytest.approx(0.5)
+        assert res.p2p.total_messages == 13

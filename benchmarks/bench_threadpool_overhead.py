@@ -1,0 +1,25 @@
+"""Section 3.3 — OpenMP vs spin-lock thread-pool overheads."""
+
+import pytest
+
+from repro.figures import micro33
+
+
+def test_micro33(benchmark):
+    res = benchmark(micro33.compute)
+    print("\n" + micro33.render(res))
+    assert res.openmp_fork_join == pytest.approx(5.8e-6)
+    assert res.pool_fork_join == pytest.approx(1.1e-6)
+    # Paper: OpenMP makes the modify stage ~10x slower at 22 atoms.
+    assert res.openmp_modify_slowdown > 8
+    assert res.modify_pool < res.modify_openmp
+
+
+def test_threadpool_dispatch_cost_real(benchmark):
+    """Wall-clock cost of the (deterministic) pool scheduling itself."""
+    from repro.runtime import ThreadPoolModel
+
+    pool = ThreadPoolModel(6)
+    work = [1e-6 * (i % 7) for i in range(13)]
+    t = benchmark(pool.parallel_time, work)
+    assert t >= pool.fork_join

@@ -1,0 +1,14 @@
+"""Section 3.5.3 — topo-map placement vs random placement."""
+
+from repro.figures import topomap
+
+
+def test_topomap_quantified(benchmark):
+    res = benchmark.pedantic(topomap.compute, rounds=1, iterations=1)
+    print("\n" + topomap.render(res))
+    # Paper: 'effectively reduce the average communication hops'.
+    assert res.hop_reduction > 0.4
+    assert res.mapped.total_link_traversals < res.randomized.total_link_traversals
+    # Topology-aware placement also keeps some traffic on-node entirely.
+    assert res.on_node_fraction_mapped > 0.05
+    assert res.on_node_fraction_random < res.on_node_fraction_mapped

@@ -1,0 +1,66 @@
+"""Binary Lennard-Jones mixture (Kob-Andersen-style) with trajectory dump.
+
+Shows the multi-species machinery end to end: a 80/20 A-B mixture with
+the classic Kob-Andersen parameters (eps_AA=1.0/sig_AA=1.0,
+eps_BB=0.5/sig_BB=0.88, explicit cross terms eps_AB=1.5/sig_AB=0.8),
+running over the optimized communication stack — atom types travel with
+borders and migration — while frames stream to a LAMMPS-format dump
+file any standard tool can read.
+
+Run:  python examples/binary_mixture.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import LennardJones, Simulation, SimulationConfig
+from repro.md.dump import DumpWriter, read_dump
+from repro.md.lattice import fcc_lattice, lj_density_to_cell, maxwell_velocities
+
+
+def kob_andersen() -> LennardJones:
+    lj = LennardJones(n_types=2, cutoff=2.5)
+    lj.set_coeff(0, 0, epsilon=1.0, sigma=1.0)
+    lj.set_coeff(1, 1, epsilon=0.5, sigma=0.88)
+    lj.set_coeff(0, 1, epsilon=1.5, sigma=0.8)
+    return lj
+
+
+def main() -> None:
+    edge = lj_density_to_cell(1.2)  # KA density
+    x, box = fcc_lattice((5, 5, 5), edge)
+    rng = np.random.default_rng(21)
+    types = (rng.random(x.shape[0]) < 0.2).astype(np.int32)  # 20% B
+    v = maxwell_velocities(x.shape[0], 1.0, seed=21)
+
+    cfg = SimulationConfig(
+        dt=0.003, skin=0.3, pattern="parallel-p2p", rdma=True, neighbor_every=10
+    )
+    sim = Simulation(x, v, box, kob_andersen(), cfg, grid=(2, 2, 2), types=types)
+    n_b = int(types.sum())
+    print(f"Kob-Andersen mixture: {sim.natoms - n_b} A + {n_b} B atoms, "
+          f"8 ranks, optimized exchange")
+
+    dump_path = Path(tempfile.gettempdir()) / "repro_mixture.dump"
+    writer = DumpWriter(dump_path, include_velocities=False)
+    sim.setup()
+    writer.write_simulation_frame(sim)
+    for _ in range(4):
+        sim.run(15)
+        writer.write_simulation_frame(sim)
+        s = sim.sample_thermo()
+        print(f"  step {s.step:3d}: T*={s.temperature:.3f} "
+              f"E/N={s.total_energy / sim.natoms:+.4f} P*={s.pressure:+.3f}")
+
+    frames = read_dump(dump_path)
+    print(f"\ndumped {len(frames)} frames to {dump_path}")
+    # Species identity is conserved through borders + migration:
+    for f in frames:
+        assert int(f.types.sum()) == n_b
+    print(f"species conserved in every frame: {n_b} B atoms throughout")
+
+
+if __name__ == "__main__":
+    main()

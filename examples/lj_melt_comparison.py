@@ -1,0 +1,63 @@
+"""Compare every communication implementation on the same LJ melt.
+
+Runs the identical physical system through the baseline 3-stage exchange,
+coarse p2p (message and RDMA planes) and the fine-grained thread-pool
+p2p, verifying they produce the same trajectory (the paper's Fig. 11
+accuracy claim) while moving very different message traffic (Table 1):
+the p2p variants send 13 messages per rank but half the 3-stage's ghost
+volume.
+
+Run:  python examples/lj_melt_comparison.py
+"""
+
+import numpy as np
+
+from repro import LennardJones, SerialReference, quick_lj_simulation
+from repro.md.lattice import fcc_lattice, lj_density_to_cell, maxwell_velocities
+
+VARIANTS = [
+    ("3-stage (baseline)", "3stage", False),
+    ("p2p, message plane", "p2p", False),
+    ("p2p, RDMA plane", "p2p", True),
+    ("thread-pool p2p + RDMA", "parallel-p2p", True),
+]
+
+CELLS = (5, 5, 5)
+RANKS = (2, 2, 2)
+STEPS = 50
+SEED = 42
+
+
+def main() -> None:
+    # Independent serial reference (minimum image, O(N^2)).
+    edge = lj_density_to_cell(0.8442)
+    x, box = fcc_lattice(CELLS, edge)
+    v = maxwell_velocities(x.shape[0], 1.44, seed=SEED)
+    ref = SerialReference(x, v, box, LennardJones(cutoff=2.5), dt=0.005)
+    ref.run(STEPS)
+    print(f"system: {x.shape[0]} LJ atoms, {STEPS} steps, "
+          f"{np.prod(RANKS)} simulated ranks\n")
+
+    header = f"{'variant':<24} {'max|dx| vs serial':>18} {'msgs/rank/border':>17} {'ghost KiB':>10}"
+    print(header)
+    print("-" * len(header))
+    for label, pattern, rdma in VARIANTS:
+        sim = quick_lj_simulation(
+            cells=CELLS, ranks=RANKS, pattern=pattern, rdma=rdma, seed=SEED
+        )
+        sim.run(STEPS)
+        dx = np.abs(box.minimum_image(sim.gather_positions() - ref.x)).max()
+        msgs = sim.exchange.messages_per_rank()[0]
+        log = sim.world.transport.log
+        border_bytes = log.total_bytes("border") / 1024
+        print(f"{label:<24} {dx:>18.2e} {msgs:>17d} {border_bytes:>10.1f}")
+
+    print(
+        "\nAll variants integrate the same trajectory; the p2p variants "
+        "use 13 direct\nmessages per rank (vs 6 staged) while moving half "
+        "the ghost volume — the\nNewton's-3rd-law saving of Table 1."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Physics validation: equilibrate an LJ melt and inspect its structure.
+
+A downstream user's first real question about any MD engine: does it
+produce correct *physics*, not just matching traces?  This example
+equilibrates the LJ benchmark system at T* = 1.44 with a Langevin
+thermostat (running over the optimized communication stack), then
+computes the radial distribution function and mean-square displacement:
+a proper liquid shows g(r) with a first peak near 1.1 sigma and linear
+diffusion, while the initial crystal shows sharp lattice peaks.
+
+Run:  python examples/melt_structure.py
+"""
+
+import numpy as np
+
+from repro import quick_lj_simulation
+from repro.md.analysis import (
+    MSDTracker,
+    radial_distribution,
+    structure_order_parameter,
+)
+from repro.md.fixes import Langevin
+from repro.md.lattice import fcc_lattice, lj_density_to_cell
+
+
+def ascii_plot(r, g, width=48, height=10) -> str:
+    """Tiny terminal plot of g(r)."""
+    gmax = max(g.max(), 1e-9)
+    rows = []
+    for level in range(height, 0, -1):
+        thresh = gmax * level / height
+        cells = "".join(
+            "#" if gv >= thresh else " "
+            for gv in np.interp(np.linspace(r[0], r[-1], width), r, g)
+        )
+        rows.append(f"{thresh:5.1f} |{cells}")
+    rows.append("      +" + "-" * width)
+    rows.append(f"       r = {r[0]:.1f} ... {r[-1]:.1f} sigma")
+    return "\n".join(rows)
+
+
+def main() -> None:
+    # Initial crystal structure for comparison.
+    edge = lj_density_to_cell(0.8442)
+    x0, box0 = fcc_lattice((5, 5, 5), edge)
+    r, g_crystal = radial_distribution(x0, box0, r_max=3.0)
+
+    sim = quick_lj_simulation(
+        cells=(5, 5, 5), ranks=(2, 2, 2),
+        pattern="parallel-p2p", rdma=True,
+        temperature=1.44, seed=11, neighbor_every=10,
+    )
+    sim.fixes.append(Langevin(t_target=1.44, damp=0.2, dt=0.005, seed=4))
+    print(f"equilibrating {sim.natoms} LJ atoms at T*=1.44 "
+          "(Langevin over the optimized exchange)...")
+    sim.setup()
+    msd = MSDTracker(sim.gather_positions(), sim.box)
+    for _ in range(6):
+        sim.run(20)
+        msd.update(sim.step_count, sim.gather_positions())
+        s = sim.sample_thermo()
+        print(f"  step {s.step:4d}: T*={s.temperature:.3f} P*={s.pressure:.3f} "
+              f"MSD={msd.samples[-1][1]:.3f}")
+
+    r, g_liquid = radial_distribution(sim.gather_positions(), sim.box, r_max=3.0)
+    print("\nliquid g(r):")
+    print(ascii_plot(r, g_liquid))
+    print(f"\nfirst-peak position : {r[np.argmax(g_liquid)]:.2f} sigma "
+          "(LJ liquid: ~1.1)")
+    print(f"structure order     : crystal {structure_order_parameter(g_crystal):.1f} "
+          f"vs liquid {structure_order_parameter(g_liquid):.1f}")
+    print(f"diffusion estimate  : D* = {msd.diffusion_estimate(0.005):.4f} "
+          "(LJ melt at this state point: ~0.03)")
+
+
+if __name__ == "__main__":
+    main()

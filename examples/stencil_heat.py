@@ -1,0 +1,67 @@
+"""Stencil generalization: 3D heat smoothing over the paper's exchanges.
+
+The paper's conclusion claims its communication optimizations transfer
+to "other applications with the similar communication pattern, such as
+domain decomposition and stencil computation".  This example runs a
+27-point Jacobi diffusion of a hot spot over both halo-exchange
+patterns, shows they produce identical fields, and prices both message
+schedules on the Fugaku network model — the same comparison as the MD
+case, on a completely different application.
+
+Run:  python examples/stencil_heat.py
+"""
+
+import numpy as np
+
+from repro.machine import FUGAKU
+from repro.network import Message, NetworkSimulator, MpiStack, UtofuStack
+from repro.runtime import World
+from repro.stencil import JacobiSolver, jacobi_reference
+
+
+def main() -> None:
+    shape = (16, 16, 16)
+    data = np.zeros(shape)
+    data[6:10, 6:10, 6:10] = 100.0  # a hot cube
+
+    ref = jacobi_reference(data, 10)
+    print(f"27-point Jacobi diffusion, {shape} grid, 8 ranks, 10 steps\n")
+
+    solvers = {}
+    for pattern in ("3stage", "p2p"):
+        world = World(8, grid=(2, 2, 2))
+        s = JacobiSolver(world, shape, pattern=pattern)
+        s.set_initial(data)
+        s.run(10)
+        solvers[pattern] = s
+        log = world.transport.log
+        print(
+            f"{pattern:>7}: max err vs serial {s.residual_vs(ref):.2e}, "
+            f"{s.halo.messages_per_exchange():2d} msgs/exchange, "
+            f"{log.total_bytes() / 1024:.0f} KiB total"
+        )
+
+    diff = np.abs(solvers["p2p"].solution() - solvers["3stage"].solution()).max()
+    print(f"\npattern-to-pattern max difference: {diff:.2e} (bit-identical)")
+
+    # Price one halo exchange on the machine model, like Fig. 6 for MD.
+    print("\nmodeled exchange time on the Fugaku network model:")
+    for pattern, stack in (("3stage", MpiStack()), ("p2p", UtofuStack())):
+        sched = solvers[pattern].halo.message_schedule()
+        msgs = [Message(nbytes=n, hops=h) for n, h in sched]
+        sim = NetworkSimulator(stack, FUGAKU)
+        if pattern == "3stage":
+            t = sim.run_staged([msgs[i : i + 2] for i in range(0, len(msgs), 2)])
+        else:
+            t = sim.run_round(msgs)
+        print(f"  {pattern:>7} ({stack.name}): {t.completion_time * 1e6:6.2f} us")
+
+    print(
+        "\nThe p2p halo sends 26 direct messages vs 6 staged ones, and wins "
+        "for the\nsame reason as the MD ghost exchange — the paper's "
+        "generalization claim."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Project your own workload's strong scaling on the Fugaku model.
+
+Uses the calibrated performance model to sweep a user-defined system
+over node counts, comparing the baseline and optimized communication
+stacks — the tool you would reach for before burning real node-hours,
+and the machinery behind Figs. 12/13 of the reproduction.
+
+Run:  python examples/strong_scaling_study.py [natoms] [potential]
+      e.g.  python examples/strong_scaling_study.py 10000000 lj
+"""
+
+import sys
+
+from repro.perfmodel import (
+    StageModel,
+    parallel_efficiency,
+    performance_per_day,
+    strong_scaling,
+)
+from repro.perfmodel.stagemodel import Workload
+
+
+def build_workload(natoms: int, potential: str) -> Workload:
+    if potential == "lj":
+        return Workload("user-lj", "lj", natoms, 0.8442, 2.8, 0.005, rebuild_every=20)
+    if potential == "eam":
+        return Workload(
+            "user-eam", "eam", natoms, 0.0847, 5.95, 0.005,
+            rebuild_every=20, allreduce_every=5,
+        )
+    raise SystemExit(f"unknown potential {potential!r}; use 'lj' or 'eam'")
+
+
+def main() -> None:
+    natoms = int(sys.argv[1]) if len(sys.argv) > 1 else 4_194_304
+    potential = sys.argv[2] if len(sys.argv) > 2 else "lj"
+    workload = build_workload(natoms, potential)
+    nodes = (768, 2160, 6144, 18432, 36864)
+    model = StageModel()
+
+    print(f"strong scaling projection: {natoms:,} {potential.upper()} atoms\n")
+    header = (f"{'nodes':>6} {'atoms/core':>11} {'ref us/step':>12} "
+              f"{'opt us/step':>12} {'speedup':>8} {'opt eff %':>9}")
+    print(header)
+    print("-" * len(header))
+
+    ref = strong_scaling(workload, "ref", nodes, model=model)
+    opt = strong_scaling(workload, "opt", nodes, model=model)
+    effs = parallel_efficiency(opt)
+    for r, o, e in zip(ref, opt, effs):
+        print(
+            f"{o.nodes:>6} {o.atoms_per_core:>11.1f} {r.step_time * 1e6:>12.1f} "
+            f"{o.step_time * 1e6:>12.1f} {r.step_time / o.step_time:>8.2f} "
+            f"{100 * e:>9.1f}"
+        )
+
+    perf = performance_per_day(opt[-1], workload.dt)
+    unit = "tau/day" if potential == "lj" else "ps/day"
+    print(f"\noptimized performance at {opt[-1].nodes} nodes: "
+          f"{perf / 1e6:.2f} M{unit}")
+    last = opt[-1].result
+    print("stage shares at the last point (opt):")
+    for stage, (secs, pct) in last.breakdown().items():
+        print(f"  {stage:<8} {secs * 1e6:8.2f} us  {pct:5.1f}%")
+
+
+if __name__ == "__main__":
+    main()

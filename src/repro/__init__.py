@@ -1,0 +1,74 @@
+"""repro — reproduction of "Enhance the Strong Scaling of LAMMPS on Fugaku".
+
+A working LAMMPS-like molecular-dynamics engine plus a simulated Fugaku
+substrate (TofuD 6D torus, TNIs, uTofu/MPI software stacks) used to
+reproduce the paper's communication optimizations and every figure/table
+of its evaluation.  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for paper-vs-measured results.
+
+Quick start::
+
+    from repro import quick_lj_simulation
+
+    sim = quick_lj_simulation(cells=(6, 6, 6), ranks=(2, 2, 2),
+                              pattern="parallel-p2p", rdma=True)
+    sim.run(50)
+    print(sim.sample_thermo())
+"""
+
+from repro.md import (
+    Simulation,
+    SimulationConfig,
+    LennardJones,
+    EAMPotential,
+    make_cu_like_eam,
+    fcc_lattice,
+    lj_density_to_cell,
+)
+from repro.md.lattice import maxwell_velocities
+from repro.md.serial import SerialReference
+
+__version__ = "1.0.0"
+
+
+def quick_lj_simulation(
+    cells=(6, 6, 6),
+    ranks=(2, 2, 2),
+    pattern: str = "p2p",
+    rdma: bool = False,
+    density: float = 0.8442,
+    temperature: float = 1.44,
+    cutoff: float = 2.5,
+    skin: float = 0.3,
+    dt: float = 0.005,
+    seed: int = 12345,
+    **config_kwargs,
+) -> Simulation:
+    """Build the paper's LJ melt benchmark at a laptop-friendly size.
+
+    Mirrors the LAMMPS ``in.lj`` bench: FCC lattice at reduced density
+    0.8442, Maxwell velocities at T*=1.44, LJ cutoff 2.5 sigma, skin 0.3,
+    NVE.  ``pattern`` picks the communication implementation under test.
+    """
+    edge = lj_density_to_cell(density)
+    x, box = fcc_lattice(cells, edge)
+    v = maxwell_velocities(x.shape[0], temperature, seed=seed)
+    cfg = SimulationConfig(
+        dt=dt, skin=skin, pattern=pattern, rdma=rdma, **config_kwargs
+    )
+    return Simulation(x, v, box, LennardJones(cutoff=cutoff), cfg, grid=ranks)
+
+
+__all__ = [
+    "Simulation",
+    "SimulationConfig",
+    "LennardJones",
+    "EAMPotential",
+    "make_cu_like_eam",
+    "fcc_lattice",
+    "lj_density_to_cell",
+    "maxwell_velocities",
+    "SerialReference",
+    "quick_lj_simulation",
+    "__version__",
+]

@@ -1,0 +1,263 @@
+"""Shared machinery of the ghost-exchange implementations.
+
+Both patterns (3-stage and p2p) reduce to the same route abstraction:
+after the **border** stage, each rank holds
+
+* :class:`SendRoute` s — (peer, local/ghost indices to pack, PBC shift to
+  apply, tag), and
+* :class:`RecvRoute` s — (peer, destination ghost range, tag),
+
+and the **forward** (positions owner->ghost), **reverse** (forces
+ghost->owner) and EAM mid-pair scalar exchanges are generic replays of
+those routes.  The PBC shift is applied by the *sender* (as real LAMMPS
+does in its pack kernels) so the RDMA path — where data lands directly
+in the remote array with no receiver-side unpack — is identical in
+content to the message path.
+
+The base class also does atom migration (**exchange** stage) and traffic
+modelling: every executed phase can report the message schedule it just
+performed, which the perfmodel prices on the network simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.md.atoms import Atoms
+from repro.md.domain import Domain
+from repro.runtime.world import RankContext, World
+
+
+@dataclass
+class SendRoute:
+    """One outgoing message route of the forward stage."""
+
+    peer: int
+    send_idx: np.ndarray  # indices into the sender's atom arrays
+    shift: np.ndarray  # (3,) PBC shift applied by the sender to positions
+    tag: tuple
+    hops: int = 1
+
+    @property
+    def count(self) -> int:
+        return int(self.send_idx.shape[0])
+
+
+@dataclass
+class RecvRoute:
+    """One incoming ghost block of the forward stage."""
+
+    peer: int
+    recv_start: int
+    recv_count: int
+    tag: tuple
+    hops: int = 1
+
+
+@dataclass
+class RankRoutes:
+    """All routes of one rank, aligned so replay order is deterministic."""
+
+    sends: list[SendRoute] = field(default_factory=list)
+    recvs: list[RecvRoute] = field(default_factory=list)
+
+    def clear(self) -> None:
+        """Drop all routes (called at the start of every border stage)."""
+        self.sends.clear()
+        self.recvs.clear()
+
+
+class GhostExchange:
+    """Abstract base of the border/forward/reverse/exchange protocol.
+
+    Subclasses implement :meth:`borders` (building routes + initial ghost
+    population); everything else is generic.
+
+    Parameters
+    ----------
+    world, domain:
+        The rank world (must carry a 3D grid) and the decomposed box.
+    rcomm:
+        Ghost shell thickness = force cutoff + neighbor skin.
+    """
+
+    #: half-list ghost rule the pattern requires ("all" or "coord")
+    ghost_rule: str = "all"
+    #: whether the pattern communicates the full 26-neighbor shell
+    full_shell: bool = False
+    name: str = "abstract"
+
+    def __init__(self, world: World, domain: Domain, rcomm: float) -> None:
+        if world.grid is None:
+            raise ValueError("ghost exchange requires a world with a rank grid")
+        if rcomm <= 0:
+            raise ValueError(f"rcomm must be positive, got {rcomm}")
+        self.world = world
+        self.domain = domain
+        self.rcomm = rcomm
+        self.routes: dict[int, RankRoutes] = {
+            r: RankRoutes() for r in range(world.size)
+        }
+
+    # -- helpers ----------------------------------------------------------
+    def atoms_of(self, rank: int) -> Atoms:
+        """The per-rank atom storage held in the world state."""
+        return self.world.ranks[rank].state["atoms"]
+
+    def sub_box_of(self, rank: int):
+        """The sub-box owned by ``rank``."""
+        return self.domain.sub_box(self.world.grid_pos_of(rank))
+
+    def shift_for_send(self, sender_rank: int, o_send: tuple[int, int, int]) -> np.ndarray:
+        """PBC shift the sender applies for the receiver at ``o_send``.
+
+        Equal to the receiver's ``ghost_shift`` toward the sender (offset
+        ``-o_send`` from the receiver's perspective).
+        """
+        recv_pos = tuple(
+            (p + o) % g
+            for p, o, g in zip(
+                self.world.grid_pos_of(sender_rank), o_send, self.world.grid
+            )
+        )
+        o_recv = tuple(-o for o in o_send)
+        return self.domain.sub_box(recv_pos).ghost_shift(o_recv, self.domain.box)
+
+    # -- abstract ------------------------------------------------------------
+    def borders(self) -> None:
+        """Rebuild ghost sets and routes on every rank (border stage)."""
+        raise NotImplementedError
+
+    # -- generic forward/reverse -------------------------------------------------
+    def forward(self) -> None:
+        """Send owned positions to every ghost copy (forward stage)."""
+        self._forward_array(
+            {r: self.atoms_of(r).x for r in range(self.world.size)},
+            apply_shift=True,
+            phase="forward",
+        )
+
+    def reverse(self) -> None:
+        """Accumulate ghost forces back onto owners (reverse stage)."""
+        self._reverse_sum_array(
+            {r: self.atoms_of(r).f for r in range(self.world.size)},
+            phase="reverse",
+        )
+
+    def forward_scalar_world(self, arrays: dict[int, np.ndarray]) -> None:
+        """Owner -> ghost broadcast of one scalar per atom (EAM fp)."""
+        self._forward_array(arrays, apply_shift=False, phase="pair-forward")
+
+    def reverse_sum_scalar_world(self, arrays: dict[int, np.ndarray]) -> None:
+        """Ghost -> owner sum of one scalar per atom (EAM density)."""
+        self._reverse_sum_array(arrays, phase="pair-reverse")
+
+    # Subclasses may override for staged execution or RDMA data planes.
+    def _forward_array(
+        self, arrays: dict[int, np.ndarray], apply_shift: bool, phase: str
+    ) -> None:
+        transport = self.world.transport
+        transport.set_phase(phase)
+        for rank in range(self.world.size):
+            data = arrays[rank]
+            for route in self.routes[rank].sends:
+                payload = np.array(data[route.send_idx], copy=True)
+                if apply_shift and payload.ndim == 2:
+                    payload += route.shift
+                transport.send(rank, route.peer, route.tag + (phase,), payload)
+        for rank in range(self.world.size):
+            data = arrays[rank]
+            for route in self.routes[rank].recvs:
+                payload = transport.recv(rank, route.peer, route.tag + (phase,))
+                lo, n = route.recv_start, route.recv_count
+                data[lo : lo + n] = payload
+
+    def _reverse_sum_array(self, arrays: dict[int, np.ndarray], phase: str) -> None:
+        transport = self.world.transport
+        transport.set_phase(phase)
+        for rank in range(self.world.size):
+            data = arrays[rank]
+            for route in self.routes[rank].recvs:
+                lo, n = route.recv_start, route.recv_count
+                transport.send(
+                    rank, route.peer, route.tag + (phase,), np.array(data[lo : lo + n])
+                )
+        for rank in range(self.world.size):
+            data = arrays[rank]
+            for route in self.routes[rank].sends:
+                payload = transport.recv(rank, route.peer, route.tag + (phase,))
+                np.add.at(data, route.send_idx, payload)
+
+    # -- migration -------------------------------------------------------------
+    def exchange(self) -> None:
+        """Migrate atoms that left their sub-box (exchange stage).
+
+        Runs with ghosts cleared (LAMMPS order: exchange -> borders).
+        Positions are wrapped into the global box first.
+        """
+        world = self.world
+        transport = world.transport
+        transport.set_phase("exchange")
+        box = self.domain.box
+
+        outgoing: dict[int, list] = {}
+        for rank in range(world.size):
+            atoms = self.atoms_of(rank)
+            atoms.clear_ghosts()
+            x = atoms.x_local()
+            x[:] = box.wrap(x)
+            groups = self.domain.scatter(x)
+            my_pos = world.grid_pos_of(rank)
+            leaving: list[np.ndarray] = []
+            for pos, idx in groups.items():
+                if pos == my_pos:
+                    continue
+                leaving.append((pos, idx))
+            outgoing[rank] = leaving
+
+        for rank in range(world.size):
+            atoms = self.atoms_of(rank)
+            # Collect and remove in one pass so indices stay valid.
+            all_idx = (
+                np.concatenate([idx for _, idx in outgoing[rank]])
+                if outgoing[rank]
+                else np.empty(0, dtype=np.intp)
+            )
+            if all_idx.size:
+                x, v, tag, type_ = atoms.remove_local(all_idx)
+                # Re-split by destination, preserving group boundaries.
+                cursor = 0
+                for pos, idx in outgoing[rank]:
+                    n = idx.shape[0]
+                    sl = slice(cursor, cursor + n)
+                    dest = world.rank_at(pos)
+                    transport.send(
+                        rank, dest, ("exch",), (x[sl], v[sl], tag[sl], type_[sl])
+                    )
+                    cursor += n
+            # Every rank sends a (possibly empty) marker count so receives
+            # are deterministic.
+            transport.send(rank, rank, ("exch-done",), len(outgoing[rank]))
+
+        for rank in range(world.size):
+            atoms = self.atoms_of(rank)
+            transport.recv(rank, rank, ("exch-done",))
+            # Drain everything addressed to us this phase.
+            for src in range(world.size):
+                while True:
+                    payload = transport.try_recv(rank, src, ("exch",))
+                    if payload is None:
+                        break
+                    x, v, tag, type_ = payload
+                    atoms.add_local(x, v, tag, type_)
+
+    # -- statistics ----------------------------------------------------------------
+    def messages_per_rank(self) -> dict[int, int]:
+        """Forward-stage send count per rank (Table 1's ``msg``)."""
+        return {r: len(rr.sends) for r, rr in self.routes.items()}
+
+    def ghost_counts(self) -> dict[int, int]:
+        """Current ghost-atom count per rank."""
+        return {r: self.atoms_of(r).nghost for r in range(self.world.size)}

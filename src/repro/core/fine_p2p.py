@@ -1,0 +1,134 @@
+"""Fine-grained thread-pool p2p (paper section 3.3, Figs. 7 and 10).
+
+Functionally this moves exactly the same bytes as
+:class:`~repro.core.p2p.P2PExchange` — correctness cannot depend on which
+thread injected a message.  What changes is the *schedule*: each rank's
+13 neighbor messages are distributed over 6 communication threads, each
+thread driving its own VCQ bound to a distinct TNI (the 4 ranks x 6 CQs
+= 24-CQ layout of Fig. 7), so injections proceed in parallel.
+
+Load balancing follows Fig. 10: the per-message cost estimate combines
+payload serialization (message size) and path length (hops) — the 3
+face messages are big but near, the 4 corner messages small but far —
+and LPT assignment over the 6 threads equalizes the per-thread totals.
+
+:meth:`comm_schedule` exports the resulting (thread, TNI)-annotated
+message list; the perfmodel feeds it to the network simulator, which is
+where the paper's >=50 % message-rate boost for <512 B messages (Fig. 8)
+and the 77 % communication-time cut (Fig. 12) come from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.p2p import P2PExchange
+from repro.machine.params import FUGAKU, MachineParams
+from repro.network.simulator import Message
+from repro.network.stacks import SoftwareStack, UtofuStack
+from repro.runtime.threadpool import ThreadPoolModel, WorkItem, split_load
+
+
+@dataclass(frozen=True)
+class ThreadAssignment:
+    """One neighbor message pinned to a communication thread/TNI."""
+
+    neighbor_index: int
+    nbytes: int
+    hops: int
+    thread: int
+    tni: int
+
+
+class FineGrainedP2PExchange(P2PExchange):
+    """Thread-pool-parallel p2p: same data, parallel injection schedule."""
+
+    name = "parallel-p2p"
+
+    def __init__(
+        self,
+        *args,
+        n_comm_threads: int | None = None,
+        params: MachineParams = FUGAKU,
+        stack: SoftwareStack | None = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.params = params
+        self.stack = stack if stack is not None else UtofuStack(params=params)
+        self.n_comm_threads = (
+            n_comm_threads if n_comm_threads is not None else params.comm_threads_per_rank
+        )
+        if not 1 <= self.n_comm_threads <= params.tnis_per_node:
+            raise ValueError(
+                f"comm threads {self.n_comm_threads} must be in "
+                f"[1, {params.tnis_per_node}] (one VCQ per TNI per rank)"
+            )
+        self.pool = ThreadPoolModel(self.n_comm_threads, params)
+
+    # -- scheduling --------------------------------------------------------
+    def message_cost(self, nbytes: int, hops: int) -> float:
+        """Estimated per-message cost used for load balancing (Fig. 10).
+
+        Injection CPU + software latency + wire: exactly what one thread
+        is occupied/waiting for.
+        """
+        return (
+            self.stack.injection_interval(nbytes)
+            + self.stack.software_latency(nbytes)
+            + self.params.wire_time(nbytes, hops)
+        )
+
+    def assign_threads(self, rank: int, bytes_per_atom: int = 24) -> list[ThreadAssignment]:
+        """LPT-balance this rank's forward sends over the comm threads.
+
+        Thread *t* drives the VCQ bound to TNI *t* (fine binding of
+        Fig. 7), so the TNI index equals the thread index.
+        """
+        routes = self.routes[rank].sends
+        items = [
+            WorkItem(
+                payload=n_idx,
+                cost=self.message_cost(route.count * bytes_per_atom, route.hops),
+            )
+            for n_idx, route in enumerate(routes)
+        ]
+        bins = split_load(items, self.n_comm_threads)
+        out = []
+        for thread, bucket in enumerate(bins):
+            for item in bucket:
+                n_idx = item.payload
+                route = routes[n_idx]
+                out.append(
+                    ThreadAssignment(
+                        neighbor_index=n_idx,
+                        nbytes=route.count * bytes_per_atom,
+                        hops=route.hops,
+                        thread=thread,
+                        tni=thread,
+                    )
+                )
+        return out
+
+    def comm_schedule(self, rank: int, bytes_per_atom: int = 24) -> list[Message]:
+        """Simulator-ready messages for one forward exchange of ``rank``."""
+        return [
+            Message(
+                nbytes=a.nbytes,
+                hops=a.hops,
+                rank=rank,
+                thread=a.thread,
+                tni=a.tni,
+                known_length=True,  # message-combine: length rides inside
+            )
+            for a in self.assign_threads(rank, bytes_per_atom)
+        ]
+
+    def balance_quality(self, rank: int, bytes_per_atom: int = 24) -> float:
+        """max/mean per-thread cost — 1.0 is a perfect balance."""
+        assignments = self.assign_threads(rank, bytes_per_atom)
+        loads = [0.0] * self.n_comm_threads
+        for a in assignments:
+            loads[a.thread] += self.message_cost(a.nbytes, a.hops)
+        mean = sum(loads) / len(loads)
+        return max(loads) / mean if mean > 0 else 1.0

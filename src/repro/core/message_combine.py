@@ -1,0 +1,78 @@
+"""Message combine: length-prefixed single-message arrays (section 3.5.1).
+
+MPI transfers of unknown-length arrays classically cost two messages —
+a length, then the payload.  The paper folds the length into the first
+element of a single message; the receiver parses element 0 to learn how
+much of the (maximally-sized, pre-registered) buffer is live.
+
+The encoding here is the functional version used by the RDMA transport
+path: a float64 array whose element 0 is the payload element count.  A
+float64 carries integers exactly up to 2^53 — far beyond any buffer
+length — and keeps the buffer homogeneous so it can land directly in a
+registered region.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MessageFormatError(ValueError):
+    """Raised when a combined message fails validation on decode."""
+
+
+def combine(payload: np.ndarray) -> np.ndarray:
+    """Prefix ``payload`` (any shape, float64) with its element count."""
+    flat = np.ascontiguousarray(payload, dtype=np.float64).ravel()
+    out = np.empty(flat.size + 1, dtype=np.float64)
+    out[0] = float(flat.size)
+    out[1:] = flat
+    return out
+
+
+def split(message: np.ndarray, trailing_shape: tuple[int, ...] = ()) -> np.ndarray:
+    """Decode a combined message; returns the live payload.
+
+    ``trailing_shape`` reshapes the payload, e.g. ``(3,)`` for packed
+    coordinates.  The declared length is validated against the physical
+    buffer (a short buffer means a protocol bug, a longer one is fine —
+    that is the whole point of writing into maximal pre-sized buffers).
+    """
+    message = np.asarray(message, dtype=np.float64)
+    if message.ndim != 1 or message.size < 1:
+        raise MessageFormatError("combined message must be a non-empty 1-D array")
+    n = message[0]
+    if n < 0 or n != np.floor(n):
+        raise MessageFormatError(f"invalid length prefix {n!r}")
+    n = int(n)
+    if n > message.size - 1:
+        raise MessageFormatError(
+            f"length prefix {n} exceeds buffer payload capacity {message.size - 1}"
+        )
+    flat = message[1 : 1 + n]
+    if trailing_shape:
+        inner = int(np.prod(trailing_shape))
+        if inner == 0 or n % inner:
+            raise MessageFormatError(
+                f"payload of {n} elements does not factor into {trailing_shape}"
+            )
+        return flat.reshape((n // inner, *trailing_shape))
+    return flat
+
+
+def write_into(buffer: np.ndarray, payload: np.ndarray) -> int:
+    """Encode ``payload`` into a pre-registered ``buffer`` in place.
+
+    Returns the number of elements written (prefix included).  This is
+    the RDMA-path variant of :func:`combine`: no allocation, the
+    destination is the registered round-robin receive buffer.
+    """
+    flat = np.ascontiguousarray(payload, dtype=np.float64).ravel()
+    needed = flat.size + 1
+    if needed > buffer.size:
+        raise MessageFormatError(
+            f"payload of {flat.size} elements does not fit buffer of {buffer.size}"
+        )
+    buffer[0] = float(flat.size)
+    buffer[1 : 1 + flat.size] = flat
+    return needed

@@ -1,0 +1,321 @@
+"""Peer-to-peer ghost exchange (paper sections 3.2/3.4, Fig. 5).
+
+Each rank exchanges *directly* with every neighbor in the shell:
+
+* With Newton's 3rd law (half lists) ghosts are **received from the 13
+  plus-side neighbors** and border atoms **sent to the 13 minus-side
+  neighbors** — half the 3-stage volume (Table 1), and every message is
+  independent, so all 13 can be in flight at once.
+* With a full neighbor list (``newton=False``, Tersoff/DeePMD-style) the
+  full 26-neighbor shell is exchanged (Fig. 15).
+* Shell ``radius`` 2 covers long cutoffs: 62/124 direct neighbors — the
+  quadratic growth that makes p2p lose at 124 (Fig. 15).
+
+Two data planes:
+
+* ``rdma=False`` — payloads through the world transport (the MPI-p2p
+  baseline of Fig. 6).
+* ``rdma=True`` — the optimized uTofu plane of section 3.4: position and
+  force arrays registered once (sized from the :class:`GhostBudget`
+  theoretical maximum), forward-stage positions PUT directly into the
+  remote position array at the offset piggybacked during the border
+  stage, reverse-stage forces length-prefix-combined into the 4-deep
+  round-robin receive rings.
+
+Both planes produce bit-identical ghost data; tests assert it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.border_bins import BorderBins
+from repro.core.exchange_base import GhostExchange, RecvRoute, SendRoute
+from repro.core.ghost import GhostBudget
+from repro.core.message_combine import split
+from repro.core.patterns import (
+    half_shell_offsets,
+    offset_hops,
+    shell_offsets,
+)
+from repro.core.rdma_buffers import RdmaEndpoint
+from repro.machine.rdma import RdmaEngine
+from repro.md.domain import Domain
+from repro.runtime.world import World
+
+
+class P2PExchange(GhostExchange):
+    """Direct per-neighbor ghost exchange, message or RDMA data plane."""
+
+    name = "p2p"
+
+    def __init__(
+        self,
+        world: World,
+        domain: Domain,
+        rcomm: float,
+        newton: bool = True,
+        radius: int = 1,
+        rdma: bool = False,
+        use_border_bins: bool = True,
+        ring_depth: int = 4,
+        density: float | None = None,
+    ) -> None:
+        super().__init__(world, domain, rcomm)
+        if radius < 1:
+            raise ValueError(f"shell radius must be >= 1, got {radius}")
+        self.newton = newton
+        self.radius = radius
+        self.rdma = rdma
+        self.ring_depth = ring_depth
+        # Half list over a half shell needs no coordinate tie-break;
+        # full shell (newton off) pairs with a *full* neighbor list.
+        self.ghost_rule = "all"
+        self.full_shell = not newton
+
+        if newton:
+            self.recv_offsets = half_shell_offsets(radius)
+            self.send_offsets = [tuple(-o for o in off) for off in self.recv_offsets]
+        else:
+            self.recv_offsets = shell_offsets(radius)
+            self.send_offsets = list(self.recv_offsets)
+
+        self.use_border_bins = use_border_bins and radius == 1
+        self._bins: dict[int, BorderBins] = {}
+
+        # RDMA plane state
+        self.engine: RdmaEngine | None = None
+        self.endpoints: dict[int, RdmaEndpoint] = {}
+        self._density = density
+        self.reregistrations = 0
+
+    # -- neighbor arithmetic ---------------------------------------------------
+    def peer_for(self, rank: int, offset: tuple[int, int, int]) -> int:
+        """Rank at grid ``offset`` from ``rank`` (periodic)."""
+        return self.world.neighbor_rank(rank, offset)
+
+    def _routes_tag(self, o_recv: tuple[int, int, int]) -> tuple:
+        return ("p2p", o_recv)
+
+    # -- RDMA setup -----------------------------------------------------------------
+    def _ensure_rdma(self) -> None:
+        """One-time registration of arrays and rings (setup stage)."""
+        if not self.rdma or self.engine is not None:
+            return
+        self.engine = RdmaEngine()
+        sub_len = float(np.min(self.domain.sub_lengths))
+        if self._density is None:
+            total_atoms = sum(
+                self.atoms_of(r).nlocal for r in range(self.world.size)
+            )
+            self._density = total_atoms / self.domain.box.volume
+        budget = GhostBudget(a=sub_len, r=self.rcomm, density=self._density)
+        for rank in range(self.world.size):
+            atoms = self.atoms_of(rank)
+            # Pre-size the atom arrays to the theoretical maximum so the
+            # one-time registration stays valid for the whole run.
+            max_total = budget.max_local_atoms() + budget.max_ghost_atoms(
+                self.full_shell
+            )
+            atoms.reserve(max_total)
+            self.endpoints[rank] = RdmaEndpoint(
+                rank=rank,
+                engine=self.engine,
+                x_storage=atoms._x,
+                f_storage=atoms._f,
+                budget=budget,
+                n_neighbors=len(self.recv_offsets),
+                ring_depth=self.ring_depth,
+                full_shell=self.full_shell,
+            )
+
+    # -- border stage ----------------------------------------------------------------
+    def borders(self) -> None:
+        """Direct border exchange with every shell neighbor."""
+        world = self.world
+        transport = world.transport
+        transport.set_phase("border")
+        self._ensure_rdma()
+        for rr in self.routes.values():
+            rr.clear()
+        for rank in range(world.size):
+            self.atoms_of(rank).clear_ghosts()
+
+        # Send sweep: every rank routes its border atoms to each
+        # send-offset neighbor (bin-accelerated when exact).
+        for rank in range(world.size):
+            atoms = self.atoms_of(rank)
+            sub = self.sub_box_of(rank)
+            x_local = atoms.x_local()
+
+            idx_lists = None
+            if self.use_border_bins:
+                bins = self._bins.get(rank)
+                if bins is None or bins.sub_box != sub:
+                    try:
+                        bins = BorderBins(sub, self.rcomm, self.send_offsets)
+                        self._bins[rank] = bins
+                    except ValueError:
+                        bins = None
+                if bins is not None and bins.is_exact():
+                    idx_lists = bins.route(x_local)
+
+            for n_idx, o_send in enumerate(self.send_offsets):
+                if idx_lists is not None:
+                    send_idx = idx_lists[n_idx]
+                else:
+                    mask = sub.border_mask(x_local, o_send, self.rcomm)
+                    send_idx = np.flatnonzero(mask).astype(np.intp)
+                peer = self.peer_for(rank, o_send)
+                o_recv = tuple(-o for o in o_send)
+                shift = self.shift_for_send(rank, o_send)
+                tag = self._routes_tag(o_recv)
+                self.routes[rank].sends.append(
+                    SendRoute(
+                        peer=peer,
+                        send_idx=send_idx,
+                        shift=shift,
+                        tag=tag,
+                        hops=offset_hops(o_send),
+                    )
+                )
+                payload = (
+                    atoms.x[send_idx] + shift,
+                    atoms.tag[send_idx],
+                    atoms.type[send_idx],
+                )
+                transport.send(rank, peer, tag + ("border",), payload)
+
+        # Receive sweep: append ghosts in canonical recv-offset order.
+        for rank in range(world.size):
+            atoms = self.atoms_of(rank)
+            for o_recv in self.recv_offsets:
+                src = self.peer_for(rank, o_recv)
+                tag = self._routes_tag(o_recv)
+                payload_x, payload_tag, payload_type = transport.recv(
+                    rank, src, tag + ("border",)
+                )
+                start, count = atoms.append_ghosts(payload_x, payload_tag, payload_type)
+                self.routes[rank].recvs.append(
+                    RecvRoute(
+                        peer=src,
+                        recv_start=start,
+                        recv_count=count,
+                        tag=tag,
+                        hops=offset_hops(o_recv),
+                    )
+                )
+
+        if self.rdma:
+            for rank in range(self.world.size):
+                atoms = self.atoms_of(rank)
+                if self.endpoints[rank].revalidate(atoms._x, atoms._f):
+                    self.reregistrations += 1
+            self._exchange_windows()
+
+    def _exchange_windows(self) -> None:
+        """Piggyback the ghost offsets + stags to senders (section 3.4).
+
+        In hardware this rides in the border-stage descriptor (8 bytes);
+        functionally we move a :class:`RemoteWindow` per route.
+        """
+        transport = self.world.transport
+        transport.set_phase("border-piggyback")
+        for rank in range(self.world.size):
+            endpoint = self.endpoints[rank]
+            for n_idx, route in enumerate(self.routes[rank].recvs):
+                window = endpoint.window_for_neighbor(
+                    n_idx, route.recv_start * 3
+                )
+                transport.send(
+                    rank, route.peer, route.tag + ("window",), (n_idx, window)
+                )
+        for rank in range(self.world.size):
+            endpoint = self.endpoints[rank]
+            for s_idx, route in enumerate(self.routes[rank].sends):
+                n_idx, window = transport.recv(
+                    rank, route.peer, route.tag + ("window",)
+                )
+                # Keyed by *our* send index; remembers the neighbor's ring
+                # index so reverse-stage puts target the right ring.
+                endpoint.install_remote(s_idx, window)
+                endpoint.remote_ring_index = getattr(
+                    endpoint, "remote_ring_index", {}
+                )
+                endpoint.remote_ring_index[s_idx] = n_idx
+
+    # -- data planes --------------------------------------------------------------------
+    def _forward_array(self, arrays, apply_shift: bool, phase: str) -> None:
+        if self.rdma and apply_shift and phase == "forward":
+            self._forward_rdma()
+            return
+        super()._forward_array(arrays, apply_shift, phase)
+
+    def _forward_rdma(self) -> None:
+        """Forward positions by direct PUT into remote position arrays."""
+        self.world.transport.set_phase("forward")
+        for rank in range(self.world.size):
+            endpoint = self.endpoints[rank]
+            atoms = self.atoms_of(rank)
+            for s_idx, route in enumerate(self.routes[rank].sends):
+                packed = atoms.x[route.send_idx] + route.shift
+                endpoint.put_positions(s_idx, packed)
+
+    def _reverse_sum_array(self, arrays, phase: str) -> None:
+        if self.rdma and phase == "reverse":
+            self._reverse_rdma()
+            return
+        super()._reverse_sum_array(arrays, phase)
+
+    def _reverse_rdma(self) -> None:
+        """Reverse forces via length-prefixed PUTs into receive rings."""
+        self.world.transport.set_phase("reverse")
+        # Ghost holders put into the owners' rings...
+        for rank in range(self.world.size):
+            endpoint = self.endpoints[rank]
+            atoms = self.atoms_of(rank)
+            for r_idx, route in enumerate(self.routes[rank].recvs):
+                owner_endpoint = self.endpoints[route.peer]
+                # Our recv offset index r_idx pairs with the owner's send
+                # route of the opposite offset; the owner consumes rings in
+                # its own send order, so target the ring it will read.
+                ring = owner_endpoint.recv_rings[
+                    self._owner_ring_index(route.peer, rank, route.tag)
+                ]
+                lo, n = route.recv_start, route.recv_count
+                endpoint.put_into_ring(r_idx, ring, atoms.f[lo : lo + n])
+        # ... and the owners drain them in deterministic order.
+        for rank in range(self.world.size):
+            endpoint = self.endpoints[rank]
+            atoms = self.atoms_of(rank)
+            for s_idx, route in enumerate(self.routes[rank].sends):
+                ring = endpoint.recv_rings[
+                    self._owner_ring_index(rank, route.peer, route.tag)
+                ]
+                data = ring.consume()
+                forces = split(data, trailing_shape=(3,))
+                if forces.shape[0] != route.count:
+                    raise RuntimeError(
+                        f"reverse payload of {forces.shape[0]} rows does not "
+                        f"match {route.count} border atoms"
+                    )
+                np.add.at(atoms.f, route.send_idx, forces)
+
+    def _owner_ring_index(self, owner: int, ghost_holder: int, tag: tuple) -> int:
+        """Which of the owner's rings serves this (peer, offset) route.
+
+        Rings are allocated per recv-offset slot; for reverse traffic we
+        reuse the owner's *send* slot index (both sides enumerate offsets
+        in the same canonical order, so the index is deterministic).
+        """
+        o_recv = tag[1]
+        o_send = tuple(-o for o in o_recv)
+        return self.send_offsets.index(o_send)
+
+    # -- schedule export (consumed by the perfmodel) -----------------------------------------
+    def message_schedule(self, rank: int, bytes_per_atom: int = 24):
+        """(nbytes, hops) of this rank's forward-stage sends."""
+        return [
+            (route.count * bytes_per_atom, route.hops)
+            for route in self.routes[rank].sends
+        ]

@@ -1,0 +1,126 @@
+"""Communication-pattern definitions: neighbor sets and message shapes.
+
+The two patterns of paper section 3.1, plus the extended neighborhoods of
+section 4.4:
+
+* **3-stage** — six staged swaps (2 per dimension), forwarding received
+  ghosts between stages; works with the *full* shell.
+* **p2p** — direct messages to every neighbor in the shell; with Newton's
+  3rd law only the 13-neighbor *plus half* of the shell is received
+  (message counts 13/26 for shell radius 1, 62/124 for radius 2).
+
+The "plus half" convention: an offset ``(ox, oy, oz)`` is in the receive
+half iff it is lexicographically positive in ``(z, y, x)`` order.  Each
+cross-rank pair then has exactly one owner — the rank whose atom is
+lexicographically *below* — which is the invariant Newton's-law force
+exchange needs (see :mod:`repro.md.neighbor`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class CommPattern(str, Enum):
+    """The two ghost-exchange patterns the paper compares."""
+    THREE_STAGE = "3stage"
+    P2P = "p2p"
+
+
+def lex_positive(offset: tuple[int, int, int]) -> bool:
+    """True iff ``offset`` is lexicographically positive in (z, y, x)."""
+    ox, oy, oz = offset
+    return (oz, oy, ox) > (0, 0, 0)
+
+
+def shell_offsets(radius: int = 1) -> list[tuple[int, int, int]]:
+    """All nonzero offsets of the cubic shell of the given radius.
+
+    Radius 1 -> 26 neighbors; radius 2 -> 124 (Fig. 15's worst case).
+    """
+    if radius < 1:
+        raise ValueError(f"shell radius must be >= 1, got {radius}")
+    rng = range(-radius, radius + 1)
+    return [
+        (ox, oy, oz)
+        for oz in rng
+        for oy in rng
+        for ox in rng
+        if (ox, oy, oz) != (0, 0, 0)
+    ]
+
+
+def half_shell_offsets(radius: int = 1) -> list[tuple[int, int, int]]:
+    """The receive half of the shell (13 for radius 1, 62 for radius 2)."""
+    return [o for o in shell_offsets(radius) if lex_positive(o)]
+
+
+def offset_hops(offset: tuple[int, int, int]) -> int:
+    """Logical-torus hops to the neighbor at ``offset`` (Table 1 ``hop``).
+
+    With ranks embedded topology-preservingly (section 3.5.3), one grid
+    step per axis is one network hop, so hops = L1 norm of the offset.
+    """
+    return sum(abs(o) for o in offset)
+
+
+@dataclass(frozen=True)
+class NeighborSpec:
+    """One p2p neighbor: grid offset, hop count, and its Table 1 class."""
+
+    offset: tuple[int, int, int]
+    hops: int
+    kind: str  # "face" | "edge" | "corner" (radius-1 nomenclature)
+
+    @staticmethod
+    def classify(offset: tuple[int, int, int]) -> str:
+        nz = sum(1 for o in offset if o != 0)
+        return {1: "face", 2: "edge", 3: "corner"}[min(nz, 3)]
+
+
+def p2p_neighbors(newton: bool = True, radius: int = 1) -> list[NeighborSpec]:
+    """The neighbors a rank *receives ghosts from* under the p2p pattern.
+
+    ``newton=True`` gives the Table 1 half set: 3 faces (1 hop), 6 edges
+    (2 hops), 4 corners (3 hops).  ``newton=False`` gives the full 26
+    (or 124 at radius 2) — the Fig. 15 scenarios.
+    """
+    offsets = half_shell_offsets(radius) if newton else shell_offsets(radius)
+    return [
+        NeighborSpec(offset=o, hops=offset_hops(o), kind=NeighborSpec.classify(o))
+        for o in offsets
+    ]
+
+
+@dataclass(frozen=True)
+class StageSwap:
+    """One swap of the 3-stage pattern: flow direction along one dim."""
+
+    dim: int  # 0=x, 1=y, 2=z
+    dir: int  # +1: atoms flow toward +dim; -1: toward -dim
+    hop: int = 1
+
+
+def three_stage_swaps(radius: int = 1) -> list[StageSwap]:
+    """The swap schedule of the 3-stage pattern: 2 per dim per radius.
+
+    Order matters: all x swaps, then y, then z, so each stage forwards the
+    previous stage's ghosts (Fig. 4).  ``radius > 1`` repeats each
+    direction (multi-hop forwarding for long cutoffs) — 3-stage message
+    count grows *linearly* (6 -> 12) where p2p grows ~n^2 (26 -> 124),
+    the crossover Fig. 15 reports.
+    """
+    swaps = []
+    for dim in (0, 1, 2):
+        for _ in range(radius):
+            swaps.append(StageSwap(dim=dim, dir=+1))
+            swaps.append(StageSwap(dim=dim, dir=-1))
+    return swaps
+
+
+def message_count(pattern: CommPattern, newton: bool = True, radius: int = 1) -> int:
+    """Messages per rank per border/forward exchange (Table 1 ``msg``)."""
+    if pattern is CommPattern.THREE_STAGE:
+        return len(three_stage_swaps(radius))
+    return len(p2p_neighbors(newton=newton, radius=radius))

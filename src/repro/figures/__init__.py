@@ -1,0 +1,30 @@
+"""Figure/table regeneration: one module per paper experiment.
+
+Each module exposes ``compute(...)`` returning structured results,
+``render(result)`` returning the table/series text the paper reports,
+and a ``PAPER`` dict with the published values for side-by-side
+comparison.  ``python -m repro.figures`` regenerates everything and
+prints the full paper-vs-measured report (the source of EXPERIMENTS.md).
+
+Index:
+
+====================  ==========================================
+module                paper artifact
+====================  ==========================================
+``table1``            Table 1 — communication pattern analysis
+``eqs``               Equations (3)-(8) — timing formulas
+``fig6``              Fig. 6 — transmission time of 5 implementations
+``fig8``              Fig. 8 — message rate / bandwidth vs size
+``fig11``             Fig. 11 — accuracy (pressure traces, real MD)
+``fig12``             Fig. 12 — step-by-step speedups at 768 nodes
+``fig13``             Fig. 13 + Table 3 — strong scaling to 36 864
+``fig14``             Fig. 14 — weak scaling to 20 736 nodes
+``fig15``             Fig. 15 — 26/62/124-neighbor scenarios
+``micro33``           Section 3.3 — OpenMP vs thread-pool overheads
+``ablations``         Section 3.4/3.5 — optimization ablations
+====================  ==========================================
+"""
+
+from repro.figures.common import format_table
+
+__all__ = ["format_table"]

@@ -1,0 +1,53 @@
+"""Shared formatting for the figure reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str | None = None,
+    floatfmt: str = ".3g",
+) -> str:
+    """Plain-text table, right-aligned numbers, left-aligned first column."""
+
+    def cell(v) -> str:
+        if isinstance(v, float):
+            return format(v, floatfmt)
+        return str(v)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+
+    def line(cells, pad=" "):
+        out = []
+        for i, c in enumerate(cells):
+            if i == 0:
+                out.append(c.ljust(widths[i]))
+            else:
+                out.append(c.rjust(widths[i]))
+        return pad + (" | ").join(out)
+
+    sep = " " + "-+-".join("-" * w for w in widths)
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append(sep)
+    parts.extend(line(r) for r in str_rows)
+    return "\n".join(parts)
+
+
+def us(seconds: float) -> float:
+    """Seconds -> microseconds (figure axes are in us)."""
+    return seconds * 1e6
+
+
+def pct(fraction: float) -> float:
+    """Fraction -> percent."""
+    return 100.0 * fraction

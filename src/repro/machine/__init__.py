@@ -1,0 +1,45 @@
+"""Fugaku hardware substrate.
+
+This subpackage models the pieces of the Fugaku supercomputer that the
+paper's communication layer touches:
+
+* :mod:`repro.machine.params` — every calibrated timing/size constant,
+  collected in one frozen dataclass so experiments are reproducible and
+  sweepable.
+* :mod:`repro.machine.a64fx` — the A64FX node: 4 CMGs of 12 compute cores
+  (+1 assistant core) and HBM2 memory groups.
+* :mod:`repro.machine.topology` — the TofuD 6D mesh/torus coordinate
+  system (X, Y, Z, a, b, c), its 2x3x2 cells, and hop-count routing.
+* :mod:`repro.machine.tni` — the Tofu Network Interfaces: 6 TNIs per node,
+  9 control queues (CQ) per TNI, and the VCQ binding rules the paper's
+  fine-grained thread pool exploits.
+* :mod:`repro.machine.rdma` — one-sided RDMA put/get with explicit memory
+  registration (the cost the paper's pre-registered buffers avoid).
+
+The real hardware obviously cannot run here; these models reproduce the
+*geometry* (coordinates, hops, queue ownership) exactly and the *timing*
+through the calibrated constants in :class:`~repro.machine.params.MachineParams`.
+"""
+
+from repro.machine.params import MachineParams, FUGAKU
+from repro.machine.a64fx import A64FX, CMG
+from repro.machine.topology import TofuCoord, TofuTopology, TOFU_CELL_SHAPE
+from repro.machine.tni import TNI, ControlQueue, VirtualControlQueue, NodeNIC
+from repro.machine.rdma import RdmaEngine, MemoryRegion, RegistrationCache
+
+__all__ = [
+    "MachineParams",
+    "FUGAKU",
+    "A64FX",
+    "CMG",
+    "TofuCoord",
+    "TofuTopology",
+    "TOFU_CELL_SHAPE",
+    "TNI",
+    "ControlQueue",
+    "VirtualControlQueue",
+    "NodeNIC",
+    "RdmaEngine",
+    "MemoryRegion",
+    "RegistrationCache",
+]

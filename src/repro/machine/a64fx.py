@@ -1,0 +1,112 @@
+"""A64FX node model.
+
+The paper runs 4 MPI ranks per node, one per CMG (core memory group), each
+rank driving 12 compute threads (section 3.2).  This module models that
+resource layout so the runtime can reason about NUMA placement, core
+assignment and per-CMG memory limits.  Fig. 2 of the paper is the source
+for the shape: 4 CMGs x (12 compute + 1 assistant) cores, 8 GB HBM2 per
+CMG at 256 GB/s, all CMGs joined to a TofuD controller by a ring NoC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.params import FUGAKU, MachineParams
+
+
+@dataclass(frozen=True)
+class Core:
+    """One A64FX core.
+
+    ``assistant`` cores are dedicated to the OS and I/O (the paper's "AS"
+    cores) and are never handed to application ranks.
+    """
+
+    cmg: int
+    index: int  # index within the CMG
+    assistant: bool = False
+
+    @property
+    def global_id(self) -> int:
+        """Node-wide core id; assistant cores get the last slot per CMG."""
+        per_cmg = FUGAKU.compute_cores_per_cmg + FUGAKU.assistant_cores_per_cmg
+        return self.cmg * per_cmg + self.index
+
+
+@dataclass
+class CMG:
+    """A core memory group: 12 compute cores + 1 assistant core + HBM2."""
+
+    index: int
+    params: MachineParams = field(default=FUGAKU)
+
+    def __post_init__(self) -> None:
+        n = self.params.compute_cores_per_cmg
+        self.compute_cores = [Core(self.index, i) for i in range(n)]
+        self.assistant_core = Core(self.index, n, assistant=True)
+
+    @property
+    def hbm_bandwidth(self) -> float:
+        return self.params.hbm_bandwidth_per_cmg
+
+    @property
+    def hbm_capacity(self) -> float:
+        return self.params.hbm_capacity_per_cmg
+
+
+class A64FX:
+    """One Fugaku node: 4 CMGs and a core-affinity map for ranks.
+
+    The key policy the paper derives (section 3.2) is encoded in
+    :meth:`cores_for_rank`: with 4 ranks per node each rank owns exactly
+    one CMG, so all memory traffic stays NUMA-local.  Rank counts that do
+    not divide the CMG count straddle NUMA domains — :meth:`numa_local`
+    reports whether a given rank layout is NUMA-clean, which the
+    performance model uses to penalize odd layouts.
+    """
+
+    def __init__(self, params: MachineParams = FUGAKU) -> None:
+        self.params = params
+        self.cmgs = [CMG(i, params) for i in range(params.cmgs_per_node)]
+
+    @property
+    def compute_core_count(self) -> int:
+        return self.params.cores_per_node
+
+    def cores_for_rank(self, rank_on_node: int, ranks_per_node: int) -> list[Core]:
+        """Compute cores assigned to local rank ``rank_on_node``.
+
+        Cores are dealt out CMG-contiguously: the node's compute cores are
+        laid out CMG by CMG and split into ``ranks_per_node`` equal
+        contiguous slices.
+        """
+        if not 0 <= rank_on_node < ranks_per_node:
+            raise ValueError(
+                f"rank_on_node {rank_on_node} out of range for {ranks_per_node} ranks"
+            )
+        if self.compute_core_count % ranks_per_node:
+            raise ValueError(
+                f"{ranks_per_node} ranks do not evenly divide "
+                f"{self.compute_core_count} compute cores"
+            )
+        all_cores = [c for cmg in self.cmgs for c in cmg.compute_cores]
+        per_rank = self.compute_core_count // ranks_per_node
+        lo = rank_on_node * per_rank
+        return all_cores[lo : lo + per_rank]
+
+    def numa_local(self, ranks_per_node: int) -> bool:
+        """True if every rank's cores land inside a single CMG."""
+        try:
+            for r in range(ranks_per_node):
+                cores = self.cores_for_rank(r, ranks_per_node)
+                if len({c.cmg for c in cores}) != 1:
+                    return False
+        except ValueError:
+            return False
+        return True
+
+    def hbm_capacity_for_rank(self, ranks_per_node: int) -> float:
+        """Usable HBM per rank, assuming even division across ranks."""
+        total = self.params.cmgs_per_node * self.params.hbm_capacity_per_cmg
+        return total / ranks_per_node

@@ -1,0 +1,145 @@
+"""Dimension-order routing and link-congestion analysis.
+
+The TofuD router forwards packets dimension by dimension (x, y, z, a,
+b, c), taking the short way around each torus ring.  This module
+enumerates the actual links of each route so placements can be compared
+by *congestion*, not just hop count — the quantitative backing for the
+paper's topo-map optimization (section 3.5.3): mapping the MD rank grid
+onto the torus keeps neighbor traffic on disjoint short paths, while a
+random placement piles unrelated routes onto shared links.
+
+A link is identified as ``(node_coord, axis, direction)`` — the egress
+port used.  Each node has at most 10 ports (2 per torus axis of x, y,
+z, b; 1 each for the mesh axes a, c), matching the hardware.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.machine.topology import AXIS_NAMES, TORUS_AXES, TofuCoord, TofuTopology
+
+
+@dataclass(frozen=True)
+class Link:
+    """One directed egress link: from ``node`` along ``axis`` toward ``direction``."""
+
+    node: TofuCoord
+    axis: int  # 0..5 = x y z a b c
+    direction: int  # +1 or -1
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        sign = "+" if self.direction > 0 else "-"
+        return f"{self.node}{sign}{AXIS_NAMES[self.axis]}"
+
+
+def _axis_steps(src: int, dst: int, size: int, torus: bool) -> list[int]:
+    """Per-hop directions along one axis (short way around on tori)."""
+    if src == dst:
+        return []
+    fwd = (dst - src) % size
+    back = (src - dst) % size
+    if torus and size > 1:
+        if fwd <= back:
+            return [+1] * fwd
+        return [-1] * back
+    # Mesh: must go directly.
+    step = 1 if dst > src else -1
+    return [step] * abs(dst - src)
+
+
+def route(topo: TofuTopology, src: TofuCoord, dst: TofuCoord) -> list[Link]:
+    """The links of the dimension-order route from ``src`` to ``dst``."""
+    for c in (src, dst):
+        if not topo.contains(c):
+            raise ValueError(f"coordinate {c} outside topology")
+    links: list[Link] = []
+    current = list(src.as_tuple())
+    for axis in range(6):
+        size = topo.full_shape[axis]
+        for step in _axis_steps(current[axis], dst.as_tuple()[axis], size, TORUS_AXES[axis]):
+            links.append(Link(TofuCoord(*current), axis, step))
+            current[axis] = (current[axis] + step) % size
+    assert tuple(current) == dst.as_tuple()
+    return links
+
+
+@dataclass
+class CongestionReport:
+    """Link-load statistics for a set of routed messages."""
+
+    total_messages: int
+    total_link_traversals: int
+    max_link_load: int
+    distinct_links: int
+
+    @property
+    def mean_hops(self) -> float:
+        if self.total_messages == 0:
+            return 0.0
+        return self.total_link_traversals / self.total_messages
+
+    @property
+    def congestion(self) -> float:
+        """Max over mean link load — 1.0 means perfectly spread."""
+        if self.distinct_links == 0:
+            return 0.0
+        mean = self.total_link_traversals / self.distinct_links
+        return self.max_link_load / mean if mean > 0 else 0.0
+
+
+def link_congestion(
+    topo: TofuTopology, pairs: list[tuple[TofuCoord, TofuCoord]]
+) -> CongestionReport:
+    """Route every (src, dst) pair and report link-load statistics.
+
+    Same-node pairs contribute zero links (NoC traffic, not network).
+    """
+    loads: Counter = Counter()
+    traversals = 0
+    for src, dst in pairs:
+        for link in route(topo, src, dst):
+            loads[link] += 1
+            traversals += 1
+    return CongestionReport(
+        total_messages=len(pairs),
+        total_link_traversals=traversals,
+        max_link_load=max(loads.values(), default=0),
+        distinct_links=len(loads),
+    )
+
+
+def neighbor_traffic_pairs(
+    topo_map, offsets: list[tuple[int, int, int]], placement: dict | None = None
+) -> list[tuple[TofuCoord, TofuCoord]]:
+    """(src, dst) node coordinates for every rank's sends to ``offsets``.
+
+    ``placement`` optionally remaps rank grid positions to other rank
+    grid positions (e.g. a random permutation) to model a
+    topology-oblivious scheduler; ``None`` is the paper's topo map.
+    """
+    pairs = []
+    gx, gy, gz = topo_map.rank_grid
+    for x in range(gx):
+        for y in range(gy):
+            for z in range(gz):
+                src_pos = (x, y, z)
+                for off in offsets:
+                    dst_pos = tuple(
+                        (p + o) % g for p, o, g in zip(src_pos, off, topo_map.rank_grid)
+                    )
+                    a, b = src_pos, dst_pos
+                    if placement is not None:
+                        a, b = placement[a], placement[b]
+                    na = topo_map.node_of_rank(a)
+                    nb = topo_map.node_of_rank(b)
+                    if na == nb:
+                        continue  # intra-node: no network links
+                    pairs.append(
+                        (
+                            topo_map.topology.coord_for_virtual(na),
+                            topo_map.topology.coord_for_virtual(nb),
+                        )
+                    )
+    return pairs

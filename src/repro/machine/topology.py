@@ -1,0 +1,197 @@
+"""TofuD 6D mesh/torus topology.
+
+Fugaku's interconnect addresses every node with a six-dimensional
+coordinate ``(x, y, z, a, b, c)`` (paper Fig. 3):
+
+* ``(a, b, c)`` index a node within a **cell** of 12 nodes shaped
+  ``2 x 3 x 2``.  The ``a`` and ``c`` axes are 2-node *meshes* (one port
+  each); the ``b`` axis is a 3-node *torus* (two ports).
+* ``(x, y, z)`` index the cell within a system-wide 3D **torus** (two
+  ports per axis).
+
+This module reproduces that geometry exactly: coordinate arithmetic,
+shortest-path hop counts under dimension-order routing, and the folding of
+the 6D space into a *virtual 3D torus* that lets a 3D domain decomposition
+map onto the machine with nearest-neighbor locality (the paper's "topo
+map" optimization, section 3.5.3, uses exactly this property).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+#: Shape of one TofuD cell along (a, b, c).
+TOFU_CELL_SHAPE = (2, 3, 2)
+
+#: Which of the six axes wrap around.  x, y, z and b are tori; a and c are
+#: meshes (a/c have a single port per direction on the router).
+TORUS_AXES = (True, True, True, False, True, False)
+
+AXIS_NAMES = ("x", "y", "z", "a", "b", "c")
+
+
+@dataclass(frozen=True, order=True)
+class TofuCoord:
+    """A 6D TofuD coordinate ``(x, y, z, a, b, c)``."""
+
+    x: int
+    y: int
+    z: int
+    a: int
+    b: int
+    c: int
+
+    def as_tuple(self) -> tuple[int, int, int, int, int, int]:
+        """The six coordinates as a plain tuple."""
+        return (self.x, self.y, self.z, self.a, self.b, self.c)
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return "(" + ",".join(str(v) for v in self.as_tuple()) + ")"
+
+
+def _axis_distance(d: int, size: int, torus: bool) -> int:
+    """Hop distance along one axis for displacement ``d`` in a ring/line."""
+    d = abs(d)
+    if torus and size > 1:
+        return min(d % size, size - d % size)
+    return d
+
+
+class TofuTopology:
+    """A TofuD machine of ``shape_cells`` cells of 12 nodes each.
+
+    Parameters
+    ----------
+    shape_cells:
+        Number of cells along (x, y, z).  Fugaku's full system is
+        (24, 23, 24) cells = 158 976 nodes; the paper's job shapes (e.g.
+        32x36x32 *nodes* for 36 864 nodes) are expressed on the folded
+        virtual 3D grid, see :meth:`virtual_shape`.
+    """
+
+    def __init__(self, shape_cells: tuple[int, int, int]) -> None:
+        if any(s < 1 for s in shape_cells):
+            raise ValueError(f"cell shape must be positive, got {shape_cells}")
+        self.shape_cells = tuple(shape_cells)
+        self.full_shape = self.shape_cells + TOFU_CELL_SHAPE
+
+    # -- sizing ------------------------------------------------------------
+    @property
+    def node_count(self) -> int:
+        n = 1
+        for s in self.full_shape:
+            n *= s
+        return n
+
+    @property
+    def virtual_shape(self) -> tuple[int, int, int]:
+        """Shape of the folded virtual 3D node grid.
+
+        The ``a`` axis folds into ``x``, ``b`` into ``y`` and ``c`` into
+        ``z``, giving a ``(2X, 3Y, 2Z)`` grid of nodes.  This is the grid
+        the job scheduler exposes (the paper requests shapes like
+        ``8x12x8 = 768`` nodes on it).
+        """
+        (cx, cy, cz) = self.shape_cells
+        (ca, cb, cc) = TOFU_CELL_SHAPE
+        return (cx * ca, cy * cb, cz * cc)
+
+    @classmethod
+    def for_virtual_shape(cls, shape: tuple[int, int, int]) -> "TofuTopology":
+        """Build the smallest topology whose virtual grid is ``shape``."""
+        (vx, vy, vz) = shape
+        (ca, cb, cc) = TOFU_CELL_SHAPE
+        if vx % ca or vy % cb or vz % cc:
+            raise ValueError(
+                f"virtual shape {shape} is not a multiple of the cell shape "
+                f"{(ca, cb, cc)}"
+            )
+        return cls((vx // ca, vy // cb, vz // cc))
+
+    # -- coordinate conversion ----------------------------------------------
+    def contains(self, coord: TofuCoord) -> bool:
+        """Whether ``coord`` lies inside this machine."""
+        return all(0 <= v < s for v, s in zip(coord.as_tuple(), self.full_shape))
+
+    def node_index(self, coord: TofuCoord) -> int:
+        """Linearize a 6D coordinate (row-major over the full shape)."""
+        if not self.contains(coord):
+            raise ValueError(f"coordinate {coord} outside topology {self.full_shape}")
+        idx = 0
+        for v, s in zip(coord.as_tuple(), self.full_shape):
+            idx = idx * s + v
+        return idx
+
+    def coord_of(self, index: int) -> TofuCoord:
+        """Inverse of :meth:`node_index`."""
+        if not 0 <= index < self.node_count:
+            raise ValueError(f"node index {index} out of range")
+        vals = []
+        for s in reversed(self.full_shape):
+            vals.append(index % s)
+            index //= s
+        return TofuCoord(*reversed(vals))
+
+    def all_coords(self) -> Iterator[TofuCoord]:
+        """Iterate every node coordinate (row-major)."""
+        for i in range(self.node_count):
+            yield self.coord_of(i)
+
+    # -- virtual 3D folding ---------------------------------------------------
+    def virtual_of(self, coord: TofuCoord) -> tuple[int, int, int]:
+        """Fold a 6D coordinate onto the virtual 3D node grid.
+
+        Intra-cell axes interleave serpentine-style so that +/-1 steps on
+        the virtual grid are 1-hop (inside a cell) or 2-hop (crossing a
+        cell boundary) on the physical network — never worse.
+        """
+        (ca, cb, cc) = TOFU_CELL_SHAPE
+
+        def fold(cell: int, intra: int, span: int) -> int:
+            # serpentine: odd cells traverse the intra axis backwards, so
+            # the last node of cell k is intra-adjacent to the first node
+            # visited in cell k+1.
+            local = intra if cell % 2 == 0 else span - 1 - intra
+            return cell * span + local
+
+        return (
+            fold(coord.x, coord.a, ca),
+            fold(coord.y, coord.b, cb),
+            fold(coord.z, coord.c, cc),
+        )
+
+    def coord_for_virtual(self, v: tuple[int, int, int]) -> TofuCoord:
+        """Inverse of :meth:`virtual_of`."""
+        (vx, vy, vz) = v
+        vshape = self.virtual_shape
+        if not (0 <= vx < vshape[0] and 0 <= vy < vshape[1] and 0 <= vz < vshape[2]):
+            raise ValueError(f"virtual coordinate {v} outside grid {vshape}")
+        (ca, cb, cc) = TOFU_CELL_SHAPE
+
+        def unfold(virt: int, span: int) -> tuple[int, int]:
+            cell, local = divmod(virt, span)
+            intra = local if cell % 2 == 0 else span - 1 - local
+            return cell, intra
+
+        x, a = unfold(vx, ca)
+        y, b = unfold(vy, cb)
+        z, c = unfold(vz, cc)
+        return TofuCoord(x, y, z, a, b, c)
+
+    # -- routing ---------------------------------------------------------------
+    def hops(self, src: TofuCoord, dst: TofuCoord) -> int:
+        """Shortest-path hop count under per-axis (dimension-order) routing."""
+        for coord in (src, dst):
+            if not self.contains(coord):
+                raise ValueError(f"coordinate {coord} outside topology")
+        total = 0
+        for vs, vd, size, torus in zip(
+            src.as_tuple(), dst.as_tuple(), self.full_shape, TORUS_AXES
+        ):
+            total += _axis_distance(vd - vs, size, torus)
+        return total
+
+    def virtual_hops(self, va: tuple[int, int, int], vb: tuple[int, int, int]) -> int:
+        """Physical hops between two virtual-grid nodes."""
+        return self.hops(self.coord_for_virtual(va), self.coord_for_virtual(vb))

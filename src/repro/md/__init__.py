@@ -1,0 +1,68 @@
+"""A LAMMPS-like molecular dynamics engine.
+
+This is the substrate the paper optimizes: a working classical-MD code
+with LAMMPS' architecture — spatial (domain) decomposition over MPI
+ranks, per-rank neighbor lists over local+ghost atoms, pairwise
+potentials with Newton's 3rd law, velocity-Verlet NVE integration, and
+the five-stage timing breakdown (Pair / Neigh / Comm / Modify / Other)
+that LAMMPS prints and the paper's Table 3 reports.
+
+Everything here actually runs: multi-rank simulations execute in-process
+on :class:`repro.runtime.World`, exchanging real ghost atoms through
+whichever communication pattern (:mod:`repro.core`) is plugged in.
+"""
+
+from repro.md.atoms import Atoms
+from repro.md.region import Box, SubBox
+from repro.md.lattice import fcc_lattice, fcc_box_for_atoms, lj_density_to_cell, diamond_lattice
+from repro.md.domain import Domain, decompose_grid
+from repro.md.neighbor import NeighborList, build_pairs, NeighborSettings
+from repro.md.potentials import LennardJones, EAMPotential, make_cu_like_eam, StillingerWeber
+from repro.md.integrate import NVEIntegrator
+from repro.md.thermo import Thermo, ThermoSample
+from repro.md.stages import StageTimers, Stage
+from repro.md.simulation import Simulation, SimulationConfig
+from repro.md.fixes import Fix, Langevin, VelocityRescale
+from repro.md.analysis import MSDTracker, radial_distribution, structure_order_parameter
+from repro.md.dump import DumpWriter, Frame, read_dump
+from repro.md.inputscript import InputScript, InputScriptError
+from repro.md.restart import load_checkpoint, save_checkpoint
+
+__all__ = [
+    "Atoms",
+    "Box",
+    "SubBox",
+    "fcc_lattice",
+    "diamond_lattice",
+    "fcc_box_for_atoms",
+    "lj_density_to_cell",
+    "Domain",
+    "decompose_grid",
+    "NeighborList",
+    "NeighborSettings",
+    "build_pairs",
+    "LennardJones",
+    "EAMPotential",
+    "make_cu_like_eam",
+    "StillingerWeber",
+    "NVEIntegrator",
+    "Thermo",
+    "ThermoSample",
+    "StageTimers",
+    "Stage",
+    "Simulation",
+    "SimulationConfig",
+    "Fix",
+    "Langevin",
+    "VelocityRescale",
+    "MSDTracker",
+    "radial_distribution",
+    "structure_order_parameter",
+    "DumpWriter",
+    "Frame",
+    "read_dump",
+    "InputScript",
+    "InputScriptError",
+    "save_checkpoint",
+    "load_checkpoint",
+]

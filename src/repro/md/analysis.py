@@ -1,0 +1,101 @@
+"""Trajectory analysis: radial distribution, mean-square displacement.
+
+Physics-validation tools for the examples and tests: the LJ melt at
+rho* = 0.8442, T* ~ 1.4 must show a liquid-like g(r) (first peak near
+r ~ 1.1 sigma, no long-range order), and a melted system's MSD must grow
+~linearly (diffusion) where a cold crystal's plateaus.  These are the
+standard sanity checks a downstream user runs before trusting any MD
+engine — communication bugs that shift even a few ghost atoms destroy
+g(r) immediately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.md.region import Box
+
+
+def radial_distribution(
+    x: np.ndarray,
+    box: Box,
+    r_max: float,
+    n_bins: int = 100,
+) -> tuple[np.ndarray, np.ndarray]:
+    """g(r) of one configuration under the minimum-image convention.
+
+    Returns ``(r_centers, g)``.  Requires ``r_max`` below half the
+    shortest box edge.  O(N^2) in chunks — analysis-grade, not
+    production-grade.
+    """
+    x = np.asarray(x, dtype=float)
+    n = x.shape[0]
+    if n < 2:
+        raise ValueError("g(r) needs at least two atoms")
+    if r_max >= float(np.min(box.lengths)) / 2.0:
+        raise ValueError("r_max must be below half the shortest box edge")
+
+    edges = np.linspace(0.0, r_max, n_bins + 1)
+    counts = np.zeros(n_bins)
+    chunk = max(1, int(2e6 // max(n, 1)))
+    for lo in range(0, n, chunk):
+        hi = min(lo + chunk, n)
+        d = box.minimum_image(x[lo:hi, None, :] - x[None, :, :])
+        r = np.sqrt(np.einsum("ijk,ijk->ij", d, d))
+        # Exclude self-distances.
+        for row, i in zip(r, range(lo, hi)):
+            row[i] = np.inf
+        counts += np.histogram(r, bins=edges)[0]
+
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    shell_vol = 4.0 / 3.0 * np.pi * (edges[1:] ** 3 - edges[:-1] ** 3)
+    density = n / box.volume
+    ideal = shell_vol * density * n  # expected pair count in each shell
+    g = np.divide(counts, ideal, out=np.zeros_like(counts), where=ideal > 0)
+    return centers, g
+
+
+class MSDTracker:
+    """Mean-square displacement against an unwrapped trajectory.
+
+    Positions handed to :meth:`update` may be box-wrapped; the tracker
+    unwraps them (minimum-image increments), which is valid while no
+    atom moves more than half a box length per update.
+    """
+
+    def __init__(self, x0: np.ndarray, box: Box) -> None:
+        self.box = box
+        self.x0 = np.array(x0, copy=True)
+        self._unwrapped = np.array(x0, copy=True)
+        self._last = np.array(x0, copy=True)
+        self.samples: list[tuple[int, float]] = []
+
+    def update(self, step: int, x: np.ndarray) -> float:
+        """Fold in a new (possibly wrapped) frame; returns the MSD."""
+        dx = self.box.minimum_image(x - self._last)
+        self._unwrapped += dx
+        self._last = np.array(x, copy=True)
+        d = self._unwrapped - self.x0
+        msd = float(np.einsum("ij,ij->", d, d) / d.shape[0])
+        self.samples.append((step, msd))
+        return msd
+
+    def diffusion_estimate(self, dt: float) -> float:
+        """Einstein slope D = MSD / (6 t) from the last sample."""
+        if not self.samples:
+            return 0.0
+        step, msd = self.samples[-1]
+        t = step * dt
+        return msd / (6.0 * t) if t > 0 else 0.0
+
+
+def structure_order_parameter(g_r: np.ndarray) -> float:
+    """Crude crystallinity score: max(g) / g-tail mean.
+
+    A crystal's sharp peaks give large values; a liquid's ~ 2-3.
+    """
+    if g_r.size < 8:
+        raise ValueError("need a resolved g(r)")
+    tail = g_r[-g_r.size // 4 :]
+    tail_mean = float(tail.mean()) if float(tail.mean()) > 0 else 1.0
+    return float(g_r.max()) / tail_mean

@@ -1,0 +1,202 @@
+"""Structure-of-arrays atom storage.
+
+Follows LAMMPS' layout: one contiguous block of per-atom arrays where
+indices ``[0, nlocal)`` are atoms this rank owns and ``[nlocal,
+nlocal+nghost)`` are ghost copies received from neighbors.  Positions and
+forces of local and ghost atoms therefore live in the same arrays — the
+property the paper's pre-registered RDMA scheme exploits by PUT-ing
+straight into a remote rank's position array at a known ghost offset
+(Fig. 9).
+
+Arrays grow geometrically; growth events are counted so tests can verify
+that sizing buffers from the theoretical maximum (section 3.4) eliminates
+reallocation during a run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Atoms:
+    """Per-rank atom arrays: positions, velocities, forces, tags.
+
+    Parameters
+    ----------
+    capacity:
+        Initial allocated rows.  With the paper's pre-sizing optimization
+        the caller passes the theoretical maximum so no growth ever
+        happens mid-run.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        capacity = max(int(capacity), 1)
+        self._x = np.zeros((capacity, 3))
+        self._v = np.zeros((capacity, 3))
+        self._f = np.zeros((capacity, 3))
+        self._tag = np.zeros(capacity, dtype=np.int64)
+        self._type = np.zeros(capacity, dtype=np.int32)
+        self.nlocal = 0
+        self.nghost = 0
+        self.grow_events = 0
+
+    # -- views ---------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._x.shape[0]
+
+    @property
+    def ntotal(self) -> int:
+        return self.nlocal + self.nghost
+
+    @property
+    def x(self) -> np.ndarray:
+        """Positions of all atoms (local then ghost), shape (ntotal, 3)."""
+        return self._x[: self.ntotal]
+
+    @property
+    def v(self) -> np.ndarray:
+        """Velocities of local atoms (ghosts carry no velocity)."""
+        return self._v[: self.nlocal]
+
+    @property
+    def f(self) -> np.ndarray:
+        """Forces of all atoms; ghost rows accumulate Newton partners."""
+        return self._f[: self.ntotal]
+
+    @property
+    def tag(self) -> np.ndarray:
+        """Global atom ids for all atoms (local then ghost)."""
+        return self._tag[: self.ntotal]
+
+    @property
+    def type(self) -> np.ndarray:
+        """Atom species ids for all atoms (local then ghost); 0-based."""
+        return self._type[: self.ntotal]
+
+    def x_local(self) -> np.ndarray:
+        """Positions of local atoms only."""
+        return self._x[: self.nlocal]
+
+    def f_local(self) -> np.ndarray:
+        """Forces of local atoms only."""
+        return self._f[: self.nlocal]
+
+    # -- capacity management ---------------------------------------------------
+    def reserve(self, rows: int) -> None:
+        """Ensure capacity for at least ``rows`` atoms."""
+        if rows <= self.capacity:
+            return
+        new_cap = max(rows, self.capacity * 2)
+        for name in ("_x", "_v", "_f"):
+            old = getattr(self, name)
+            grown = np.zeros((new_cap, 3))
+            grown[: old.shape[0]] = old
+            setattr(self, name, grown)
+        tag = np.zeros(new_cap, dtype=np.int64)
+        tag[: self._tag.shape[0]] = self._tag
+        self._tag = tag
+        typ = np.zeros(new_cap, dtype=np.int32)
+        typ[: self._type.shape[0]] = self._type
+        self._type = typ
+        self.grow_events += 1
+
+    # -- population -------------------------------------------------------------
+    def set_local(
+        self,
+        x: np.ndarray,
+        v: np.ndarray,
+        tag: np.ndarray,
+        type_: np.ndarray | None = None,
+    ) -> None:
+        """Replace the local atom set (drops any ghosts)."""
+        n = x.shape[0]
+        if v.shape[0] != n or tag.shape[0] != n:
+            raise ValueError("x, v, tag must have matching first dimension")
+        if type_ is not None and type_.shape[0] != n:
+            raise ValueError("type must match the atom count")
+        self.reserve(n)
+        self._x[:n] = x
+        self._v[:n] = v
+        self._tag[:n] = tag
+        self._type[:n] = 0 if type_ is None else type_
+        self._f[:n] = 0.0
+        self.nlocal = n
+        self.nghost = 0
+
+    def clear_ghosts(self) -> None:
+        """Drop all ghosts (start of exchange/border)."""
+        self.nghost = 0
+
+    def append_ghosts(
+        self, x: np.ndarray, tag: np.ndarray, type_: np.ndarray | None = None
+    ) -> tuple[int, int]:
+        """Append ghost atoms; returns their ``(start, count)`` range."""
+        n = x.shape[0]
+        start = self.ntotal
+        self.reserve(start + n)
+        self._x[start : start + n] = x
+        self._tag[start : start + n] = tag
+        self._type[start : start + n] = 0 if type_ is None else type_
+        self._f[start : start + n] = 0.0
+        self.nghost += n
+        return start, n
+
+    def add_local(
+        self,
+        x: np.ndarray,
+        v: np.ndarray,
+        tag: np.ndarray,
+        type_: np.ndarray | None = None,
+    ) -> None:
+        """Append migrated-in local atoms (exchange stage).
+
+        Only legal while no ghosts are present (exchange happens right
+        before borders rebuilds them).
+        """
+        if self.nghost:
+            raise RuntimeError("cannot add local atoms while ghosts exist")
+        n = x.shape[0]
+        start = self.nlocal
+        self.reserve(start + n)
+        self._x[start : start + n] = x
+        self._v[start : start + n] = v
+        self._tag[start : start + n] = tag
+        self._type[start : start + n] = 0 if type_ is None else type_
+        self._f[start : start + n] = 0.0
+        self.nlocal += n
+
+    def remove_local(
+        self, indices: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Remove local atoms by index; returns their (x, v, tag, type).
+
+        Only legal while no ghosts are present.
+        """
+        if self.nghost:
+            raise RuntimeError("cannot remove local atoms while ghosts exist")
+        indices = np.asarray(indices, dtype=np.intp)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.nlocal):
+            raise IndexError("remove_local index out of local range")
+        out = (
+            self._x[indices].copy(),
+            self._v[indices].copy(),
+            self._tag[indices].copy(),
+            self._type[indices].copy(),
+        )
+        keep = np.ones(self.nlocal, dtype=bool)
+        keep[indices] = False
+        n_keep = int(keep.sum())
+        self._x[:n_keep] = self._x[: self.nlocal][keep]
+        self._v[:n_keep] = self._v[: self.nlocal][keep]
+        self._tag[:n_keep] = self._tag[: self.nlocal][keep]
+        self._type[:n_keep] = self._type[: self.nlocal][keep]
+        self.nlocal = n_keep
+        return out
+
+    def zero_forces(self) -> None:
+        """Zero the force rows of local and ghost atoms."""
+        self._f[: self.ntotal] = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Atoms(nlocal={self.nlocal}, nghost={self.nghost}, cap={self.capacity})"

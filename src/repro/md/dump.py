@@ -1,0 +1,133 @@
+"""Trajectory dump files in LAMMPS ``dump atom`` text format.
+
+Writes the classic frame layout::
+
+    ITEM: TIMESTEP
+    100
+    ITEM: NUMBER OF ATOMS
+    4000
+    ITEM: BOX BOUNDS pp pp pp
+    0.0 10.0
+    ...
+    ITEM: ATOMS id type x y z [vx vy vz]
+
+and reads it back, so trajectories from this engine feed the analysis
+tools here or any external LAMMPS-compatible pipeline (OVITO, MDAnalysis
+and friends all parse this format).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.md.region import Box
+
+
+@dataclass
+class Frame:
+    """One trajectory frame (sorted by atom id)."""
+
+    step: int
+    box: Box
+    x: np.ndarray
+    types: np.ndarray
+    v: np.ndarray | None = None
+
+    @property
+    def natoms(self) -> int:
+        return self.x.shape[0]
+
+
+class DumpWriter:
+    """Append frames to a LAMMPS-format dump file."""
+
+    def __init__(self, path, include_velocities: bool = False) -> None:
+        self.path = Path(path)
+        self.include_velocities = include_velocities
+        self.frames_written = 0
+        self.path.write_text("")  # truncate
+
+    def write_frame(
+        self,
+        step: int,
+        box: Box,
+        x: np.ndarray,
+        types: np.ndarray | None = None,
+        v: np.ndarray | None = None,
+    ) -> None:
+        """Append one frame in LAMMPS ``dump atom`` format."""
+        n = x.shape[0]
+        if types is None:
+            types = np.zeros(n, dtype=np.int32)
+        if self.include_velocities and v is None:
+            raise ValueError("writer configured with velocities but none given")
+        cols = "id type x y z" + (" vx vy vz" if self.include_velocities else "")
+        lines = [
+            "ITEM: TIMESTEP",
+            str(step),
+            "ITEM: NUMBER OF ATOMS",
+            str(n),
+            "ITEM: BOX BOUNDS pp pp pp",
+        ]
+        for k in range(3):
+            lines.append(f"{box.lo[k]:.10g} {box.hi[k]:.10g}")
+        lines.append(f"ITEM: ATOMS {cols}")
+        for i in range(n):
+            row = f"{i + 1} {int(types[i]) + 1} {x[i, 0]:.10g} {x[i, 1]:.10g} {x[i, 2]:.10g}"
+            if self.include_velocities:
+                row += f" {v[i, 0]:.10g} {v[i, 1]:.10g} {v[i, 2]:.10g}"
+            lines.append(row)
+        with self.path.open("a") as fh:
+            fh.write("\n".join(lines) + "\n")
+        self.frames_written += 1
+
+    def write_simulation_frame(self, sim) -> None:
+        """Convenience: dump a :class:`~repro.md.simulation.Simulation`."""
+        x = sim.gather_positions()
+        types = np.zeros(sim.natoms, dtype=np.int32)
+        for rank in range(sim.world.size):
+            atoms = sim.atoms_of(rank)
+            types[atoms.tag[: atoms.nlocal]] = atoms.type[: atoms.nlocal]
+        v = sim.gather_velocities() if self.include_velocities else None
+        self.write_frame(sim.step_count, sim.box, x, types, v)
+
+
+def read_dump(path) -> list[Frame]:
+    """Parse every frame of a LAMMPS-format dump file."""
+    lines = Path(path).read_text().splitlines()
+    frames: list[Frame] = []
+    k = 0
+    while k < len(lines):
+        if not lines[k].startswith("ITEM: TIMESTEP"):
+            raise ValueError(f"expected TIMESTEP header at line {k + 1}")
+        step = int(lines[k + 1])
+        assert lines[k + 2].startswith("ITEM: NUMBER OF ATOMS")
+        n = int(lines[k + 3])
+        assert lines[k + 4].startswith("ITEM: BOX BOUNDS")
+        lo, hi = [], []
+        for b in range(3):
+            parts = lines[k + 5 + b].split()
+            lo.append(float(parts[0]))
+            hi.append(float(parts[1]))
+        header = lines[k + 8]
+        assert header.startswith("ITEM: ATOMS")
+        cols = header.split()[2:]
+        has_v = "vx" in cols
+        x = np.zeros((n, 3))
+        v = np.zeros((n, 3)) if has_v else None
+        types = np.zeros(n, dtype=np.int32)
+        for row in range(n):
+            parts = lines[k + 9 + row].split()
+            idx = int(parts[0]) - 1
+            types[idx] = int(parts[1]) - 1
+            x[idx] = [float(p) for p in parts[2:5]]
+            if has_v:
+                v[idx] = [float(p) for p in parts[5:8]]
+        frames.append(
+            Frame(step=step, box=Box(tuple(lo), tuple(hi)), x=x, types=types, v=v)
+        )
+        k += 9 + n
+    return frames

@@ -1,0 +1,117 @@
+"""Fixes: per-step modifiers in the LAMMPS sense (``fix nve`` etc.).
+
+The paper's benchmarks use plain NVE, but a usable MD code needs
+temperature control for equilibration.  Two standard thermostats are
+provided, both operating on local atoms only (they are embarrassingly
+parallel, like LAMMPS' implementations — no extra communication beyond
+the temperature allreduce the driver already performs):
+
+* :class:`VelocityRescale` — direct rescaling toward a target
+  temperature every N steps (LAMMPS ``fix temp/rescale``).
+* :class:`Langevin` — stochastic friction + kicks (LAMMPS
+  ``fix langevin``), deterministic per (seed, step, rank) so multi-rank
+  runs are reproducible regardless of communication pattern.
+
+Fixes hook the driver at ``end_of_step`` with the *global* temperature
+(already reduced), keeping the stage accounting honest: thermostat work
+lands in Modify, its allreduce in Other, as LAMMPS reports it.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.md.atoms import Atoms
+
+
+class Fix:
+    """Base class: one per-step modifier."""
+
+    #: whether this fix needs the global temperature each step
+    needs_temperature: bool = False
+
+    def end_of_step(
+        self, atoms: Atoms, rank: int, step: int, temperature: float | None
+    ) -> None:
+        """Hook called after final_integrate with the global temperature."""
+        raise NotImplementedError
+
+
+class VelocityRescale(Fix):
+    """Rescale velocities toward ``t_target`` every ``every`` steps.
+
+    ``fraction`` = 1 snaps straight to the target; smaller values move
+    part way (LAMMPS semantics).  Rescaling only triggers when the
+    temperature deviates by more than ``window``.
+    """
+
+    needs_temperature = True
+
+    def __init__(
+        self,
+        t_target: float,
+        every: int = 1,
+        fraction: float = 1.0,
+        window: float = 0.0,
+    ) -> None:
+        if t_target <= 0:
+            raise ValueError(f"target temperature must be positive, got {t_target}")
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.t_target = t_target
+        self.every = every
+        self.fraction = fraction
+        self.window = window
+        self.rescale_count = 0
+
+    def end_of_step(self, atoms, rank, step, temperature):
+        """Rescale local velocities toward the target temperature."""
+        if step % self.every or temperature is None or temperature <= 0:
+            return
+        if abs(temperature - self.t_target) <= self.window:
+            return
+        t_new = temperature + self.fraction * (self.t_target - temperature)
+        scale = math.sqrt(t_new / temperature)
+        atoms.v[:] *= scale
+        if rank == 0:
+            self.rescale_count += 1
+
+
+class Langevin(Fix):
+    """Langevin thermostat: ``dv = -gamma v dt + sqrt(...) dW``.
+
+    Uses the standard discrete form: after the NVE update,
+    ``v' = a v + b xi`` with ``a = exp(-gamma dt)`` and
+    ``b = sqrt(T_target (1 - a^2) / m)``, which samples the exact
+    Ornstein-Uhlenbeck transition.  The noise stream is seeded per
+    (seed, step, rank) so reruns and different comm patterns see the
+    same kicks.
+    """
+
+    def __init__(
+        self,
+        t_target: float,
+        damp: float,
+        dt: float,
+        mass: float = 1.0,
+        seed: int = 2024,
+    ) -> None:
+        if t_target <= 0 or damp <= 0 or dt <= 0 or mass <= 0:
+            raise ValueError("t_target, damp, dt, mass must all be positive")
+        self.t_target = t_target
+        self.damp = damp
+        self.dt = dt
+        self.mass = mass
+        self.seed = seed
+        self._a = math.exp(-dt / damp)
+        self._b = math.sqrt(t_target * (1.0 - self._a * self._a) / mass)
+
+    def end_of_step(self, atoms, rank, step, temperature):
+        """Apply the exact OU friction + noise update to local atoms."""
+        rng = np.random.default_rng((self.seed, step, rank))
+        xi = rng.standard_normal((atoms.nlocal, 3))
+        atoms.v[:] = self._a * atoms.v + self._b * xi

@@ -1,0 +1,40 @@
+"""Vectorized scatter-accumulation kernels for the force loops.
+
+``np.add.at`` is the obvious way to scatter per-pair forces onto atoms,
+but it dispatches through the slow buffered-ufunc path; ``np.bincount``
+with weights does the same reduction ~5x faster (a standard NumPy
+hot-path trick — see the HPC-Python guides on vectorizing the inner
+loop).  All force kernels route through these helpers so the whole
+engine benefits and the accumulation order is consistent everywhere
+(bit-identical results between the serial reference and every parallel
+path require *one* summation strategy).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def scatter_add_vec(out: np.ndarray, idx: np.ndarray, vec: np.ndarray) -> None:
+    """``out[idx] += vec`` for (N, 3) arrays, bincount-accelerated."""
+    if idx.size == 0:
+        return
+    n = out.shape[0]
+    for k in range(out.shape[1]):
+        out[:, k] += np.bincount(idx, weights=vec[:, k], minlength=n)
+
+
+def scatter_sub_vec(out: np.ndarray, idx: np.ndarray, vec: np.ndarray) -> None:
+    """``out[idx] -= vec`` for (N, 3) arrays."""
+    if idx.size == 0:
+        return
+    n = out.shape[0]
+    for k in range(out.shape[1]):
+        out[:, k] -= np.bincount(idx, weights=vec[:, k], minlength=n)
+
+
+def scatter_add_scalar(out: np.ndarray, idx: np.ndarray, values: np.ndarray) -> None:
+    """``out[idx] += values`` for 1-D arrays (EAM density accumulation)."""
+    if idx.size == 0:
+        return
+    out += np.bincount(idx, weights=values, minlength=out.shape[0])

@@ -1,0 +1,85 @@
+"""LAMMPS-style log output.
+
+The paper's artifact instructs readers to check two things in the LAMMPS
+log: the ``Performance`` line and the ``MPI task timing breakdown``
+table.  This module renders both in the familiar format so runs of this
+reproduction read like the logs the paper analyzed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.md.stages import Stage, StageTimers
+from repro.md.thermo import ThermoSample
+
+
+THERMO_COLUMNS = ("Step", "Temp", "E_pair", "TotEng", "Press")
+
+
+def format_thermo(samples: Sequence[ThermoSample]) -> str:
+    """The per-step thermo table (``thermo_style custom ...``)."""
+    lines = ["   ".join(f"{c:>12}" for c in THERMO_COLUMNS)]
+    for s in samples:
+        lines.append(
+            f"{s.step:>12d}   {s.temperature:>12.6g}   {s.potential:>12.6g}   "
+            f"{s.total_energy:>12.6g}   {s.pressure:>12.6g}"
+        )
+    return "\n".join(lines)
+
+
+def format_performance(
+    steps: int,
+    wall_seconds: float,
+    natoms: int,
+    dt: float,
+    time_unit: str = "tau",
+) -> str:
+    """The ``Performance:`` block LAMMPS prints after a run."""
+    if steps <= 0 or wall_seconds <= 0:
+        return "Performance: (no steps timed)"
+    per_day = dt * steps / wall_seconds * 86400.0
+    steps_per_s = steps / wall_seconds
+    atom_steps = natoms * steps_per_s
+    return (
+        f"Performance: {per_day:.3f} {time_unit}/day, "
+        f"{steps_per_s:.3f} timesteps/s, "
+        f"{atom_steps:.3e} atom-step/s"
+    )
+
+
+def format_breakdown(timers: StageTimers, which: str = "wall", nprocs: int = 1) -> str:
+    """The ``MPI task timing breakdown`` table."""
+    table = timers.wall if which == "wall" else timers.model
+    total = sum(table.values())
+    lines = [
+        "MPI task timing breakdown:",
+        f"{'Section':<10}|  {'min time':>12} | {'avg time':>12} | {'max time':>12} |{'%total':>7}",
+        "-" * 64,
+    ]
+    for stage in Stage:
+        t = table[stage]
+        pct = 100.0 * t / total if total > 0 else 0.0
+        lines.append(
+            f"{stage.value:<10}| {t:>12.5g} | {t:>12.5g} | {t:>12.5g} |{pct:>6.2f}%"
+        )
+    lines.append("-" * 64)
+    lines.append(f"Total wall time: {total:.5g} s on {nprocs} simulated ranks")
+    return "\n".join(lines)
+
+
+def format_run_summary(sim) -> str:
+    """Full post-run block: thermo samples + performance + breakdown."""
+    parts = []
+    if sim.samples:
+        parts.append(format_thermo(sim.samples))
+    parts.append(
+        format_performance(
+            sim.step_count, max(sim.timers.total_wall(), 1e-12), sim.natoms, sim.config.dt
+        )
+    )
+    parts.append(format_breakdown(sim.timers, nprocs=sim.world.size))
+    if sim.timers.total_model() > 0:
+        parts.append("Simulated Fugaku communication time:")
+        parts.append(format_breakdown(sim.timers, which="model", nprocs=sim.world.size))
+    return "\n\n".join(parts)

@@ -1,0 +1,100 @@
+"""Potential interface and the mid-pair-stage communication hooks.
+
+A potential computes forces from a pair list.  Simple pair potentials
+(LJ) need no communication inside the pair stage; EAM does — its
+electron density must be complete before embedding derivatives exist,
+which takes a reverse-sum of ghost densities and a forward broadcast of
+the derivative (the "two additional communications during the pair
+stage" of paper section 4.1).  The :class:`GhostComm` protocol is how a
+potential asks the active communication pattern to perform those, so the
+same EAM code runs over the 3-stage or p2p exchange unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from repro.md.atoms import Atoms
+
+
+class GhostComm(Protocol):
+    """Mid-pair-stage per-atom communication, provided by the exchange."""
+
+    def reverse_sum_scalar(self, values: np.ndarray) -> None:
+        """Add each ghost atom's entry into its owner's entry (in place).
+
+        ``values`` has one float per atom (local then ghost); on return
+        the local entries include every ghost contribution and the ghost
+        entries are unspecified.
+        """
+        ...
+
+    def forward_scalar(self, values: np.ndarray) -> None:
+        """Copy each owner's entry onto all of its ghost copies (in place)."""
+        ...
+
+
+class NullGhostComm:
+    """Single-rank stand-in: there are no remote ghosts to merge.
+
+    Used by the serial reference path, where ghosts are same-rank periodic
+    images whose contributions were already accumulated locally.
+    """
+
+    def reverse_sum_scalar(self, values: np.ndarray) -> None:
+        """No-op: single-rank runs have no remote ghosts."""
+        return None
+
+    def forward_scalar(self, values: np.ndarray) -> None:
+        """No-op: single-rank runs have no remote ghosts."""
+        return None
+
+
+@dataclass
+class ForceResult:
+    """Outputs of one force evaluation (this rank's share).
+
+    ``energy`` and ``virial`` are *owned* contributions: summing them over
+    ranks gives the global potential energy and the global scalar virial
+    ``sum_pairs r_ij . f_ij`` (+ embedding terms for EAM).
+    """
+
+    energy: float = 0.0
+    virial: float = 0.0
+    #: per-stage seconds spent inside mid-pair communication, if any
+    comm_calls: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+class PairPotential:
+    """Base class: cutoff + force kernel over a half or full pair list."""
+
+    #: interaction cutoff (force range, excludes skin)
+    cutoff: float = 0.0
+    #: whether this potential needs a full neighbor list (Tersoff-style)
+    needs_full_list: bool = False
+    #: whether the kernel writes forces onto ghost atoms even with a full
+    #: list (3-body potentials scatter triplet forces to j and k), which
+    #: obliges the driver to run the reverse exchange
+    force_ghosts: bool = False
+
+    def compute(
+        self,
+        atoms: Atoms,
+        pair_i: np.ndarray,
+        pair_j: np.ndarray,
+        comm: GhostComm | None = None,
+        half_list: bool = True,
+    ) -> ForceResult:
+        """Accumulate forces into ``atoms.f``; return energy/virial.
+
+        ``pair_i`` are local indices; ``pair_j`` local or ghost.  With
+        ``half_list=True`` the kernel applies Newton's 3rd law (force on
+        both partners, energy/virial counted once).  With
+        ``half_list=False`` the list is directed and only ``i`` receives
+        force; energy/virial are halved per visit.
+        """
+        raise NotImplementedError

@@ -1,0 +1,284 @@
+"""Embedded-atom method potential (paper Eq. 2, Table 2 EAM column).
+
+``U = sum_i F(rho_i) + 1/2 sum_{i != j} phi(r_ij)``, with
+``rho_i = sum_j rho(r_ij)``.
+
+The evaluation is the two-pass structure whose *communication* the paper
+cares about (section 4.1): with Newton's law and a half list, pass 1
+accumulates density onto both partners (including ghosts), a **reverse
+sum** merges ghost densities into owners, embedding derivatives
+``fp = F'(rho)`` are computed for owned atoms, a **forward broadcast**
+copies fp onto ghosts, and pass 2 evaluates pair forces that need
+``fp_i + fp_j``.  Those are exactly the "two additional communications
+during the pair stage" the paper optimizes.
+
+The paper's benchmark uses the tabulated ``Cu_u3.eam`` (Foiles-Daw-Adams)
+file shipped with LAMMPS, which we cannot redistribute; as documented in
+DESIGN.md we substitute the Sutton-Chen copper parameterization — an
+analytic EAM with the same evaluation structure and a comparable cutoff
+(Table 2: 4.95 A) — and also exercise LAMMPS' tabulated-spline machinery
+by building cubic-spline tables from the analytic forms
+(:func:`make_cu_like_eam`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+from scipy.interpolate import CubicSpline
+
+from repro.md.atoms import Atoms
+from repro.md.kernels import scatter_add_scalar, scatter_add_vec, scatter_sub_vec
+from repro.md.potentials.base import ForceResult, GhostComm, NullGhostComm, PairPotential
+
+
+def _smoothstep_cut(r_inner: float, r_cut: float):
+    """C1 switching function S(r): 1 below ``r_inner``, 0 above ``r_cut``.
+
+    Returns ``(S, dS)`` vectorized callables.
+    """
+    if not 0.0 < r_inner < r_cut:
+        raise ValueError(f"need 0 < r_inner < r_cut, got {r_inner}, {r_cut}")
+    width = r_cut - r_inner
+
+    def s(r: np.ndarray) -> np.ndarray:
+        x = np.clip((np.asarray(r, dtype=float) - r_inner) / width, 0.0, 1.0)
+        return 1.0 - x * x * (3.0 - 2.0 * x)
+
+    def ds(r: np.ndarray) -> np.ndarray:
+        r = np.asarray(r, dtype=float)
+        x = np.clip((r - r_inner) / width, 0.0, 1.0)
+        out = -6.0 * x * (1.0 - x) / width
+        return out
+
+    return s, ds
+
+
+class EAMPotential(PairPotential):
+    """EAM from callables ``phi, dphi, rho, drho, F, dF`` (all vectorized).
+
+    The callables must already include cutoff smoothing — ``phi`` and
+    ``rho`` must vanish at ``cutoff``.
+    """
+
+    def __init__(
+        self,
+        phi: Callable,
+        dphi: Callable,
+        rho: Callable,
+        drho: Callable,
+        embed: Callable,
+        dembed: Callable,
+        cutoff: float,
+    ) -> None:
+        if cutoff <= 0:
+            raise ValueError(f"cutoff must be positive, got {cutoff}")
+        self.phi, self.dphi = phi, dphi
+        self.rho, self.drho = rho, drho
+        self.embed, self.dembed = embed, dembed
+        self.cutoff = cutoff
+
+    # ------------------------------------------------------------------
+    # Phased API: the multi-rank driver interleaves world-level ghost
+    # communication between these passes (reverse-sum density after
+    # pass 1, forward fp after the embedding pass).
+    # ------------------------------------------------------------------
+    def density_pass(
+        self,
+        atoms: Atoms,
+        pair_i: np.ndarray,
+        pair_j: np.ndarray,
+        half_list: bool = True,
+    ) -> dict:
+        """Pass 1: accumulate electron density; returns the scratch dict.
+
+        ``scratch['density']`` has one entry per atom (local then ghost);
+        with a half list, ghost entries hold this rank's contributions to
+        remote atoms and must be reverse-summed to owners before the
+        embedding pass.
+        """
+        x = atoms.x
+        n = atoms.ntotal
+        if pair_i.size:
+            d = x[pair_i] - x[pair_j]
+            r2 = np.einsum("ij,ij->i", d, d)
+            mask = r2 < self.cutoff * self.cutoff
+            i, j, d = pair_i[mask], pair_j[mask], d[mask]
+            r = np.sqrt(r2[mask])
+        else:
+            i = j = np.empty(0, dtype=np.intp)
+            d = np.empty((0, 3))
+            r = np.empty(0)
+
+        density = np.zeros(n)
+        if r.size:
+            rho_r = self.rho(r)
+            scatter_add_scalar(density, i, rho_r)
+            if half_list:
+                scatter_add_scalar(density, j, rho_r)
+        return {"i": i, "j": j, "d": d, "r": r, "density": density, "half": half_list}
+
+    def embedding_pass(self, atoms: Atoms, scratch: dict) -> float:
+        """Embedding energies and derivatives from the complete density.
+
+        Fills ``scratch['fp']`` for local atoms (ghost entries zero until
+        the driver forwards them) and returns the embedding energy.
+        """
+        nlocal = atoms.nlocal
+        rho_local = np.maximum(scratch["density"][:nlocal], 0.0)
+        e_embed = float(np.sum(self.embed(rho_local)))
+        fp = np.zeros(atoms.ntotal)
+        fp[:nlocal] = self.dembed(rho_local)
+        scratch["fp"] = fp
+        scratch["embedding_energy"] = e_embed
+        return e_embed
+
+    def force_pass(self, atoms: Atoms, scratch: dict) -> ForceResult:
+        """Pass 2: pair forces with the embedding chain rule."""
+        f = atoms.f
+        i, j, d, r = scratch["i"], scratch["j"], scratch["d"], scratch["r"]
+        fp = scratch["fp"]
+        half_list = scratch["half"]
+        e_embed = scratch["embedding_energy"]
+
+        energy_pair = 0.0
+        virial = 0.0
+        if r.size:
+            dphi_r = self.dphi(r)
+            drho_r = self.drho(r)
+            du = dphi_r + (fp[i] + fp[j]) * drho_r
+            fpair = -du / r  # f_i += fpair * (x_i - x_j)
+            fvec = fpair[:, None] * d
+            scatter_add_vec(f, i, fvec)
+            if half_list:
+                scatter_sub_vec(f, j, fvec)
+            e_p = self.phi(r)
+            w = fpair * r * r
+            if half_list:
+                energy_pair = float(e_p.sum())
+                virial = float(w.sum())
+            else:
+                energy_pair = 0.5 * float(e_p.sum())
+                virial = 0.5 * float(w.sum())
+
+        return ForceResult(
+            energy=energy_pair + e_embed,
+            virial=virial,
+            comm_calls=2 if half_list else 1,
+            extra={"embedding_energy": e_embed},
+        )
+
+    def compute(
+        self,
+        atoms: Atoms,
+        pair_i: np.ndarray,
+        pair_j: np.ndarray,
+        comm: GhostComm | None = None,
+        half_list: bool = True,
+    ) -> ForceResult:
+        """All three passes with inline ghost communication."""
+        comm = comm if comm is not None else NullGhostComm()
+        scratch = self.density_pass(atoms, pair_i, pair_j, half_list)
+        if half_list:
+            comm.reverse_sum_scalar(scratch["density"])
+        self.embedding_pass(atoms, scratch)
+        comm.forward_scalar(scratch["fp"])
+        return self.force_pass(atoms, scratch)
+
+
+class SuttonChenEAM(EAMPotential):
+    """Analytic Sutton-Chen EAM (Cu defaults), C1-smoothed to the cutoff.
+
+    ``phi(r) = eps (a/r)^n``, ``rho(r) = (a/r)^m``,
+    ``F(rho) = -eps c sqrt(rho)``.  Copper: n=9, m=6, c=39.432,
+    eps=1.2382e-2 eV, a=3.615 A (Sutton & Chen 1990).
+    """
+
+    def __init__(
+        self,
+        epsilon: float = 1.2382e-2,
+        a: float = 3.615,
+        c: float = 39.432,
+        n: int = 9,
+        m: int = 6,
+        cutoff: float = 4.95,
+        smooth_fraction: float = 0.85,
+    ) -> None:
+        s, ds = _smoothstep_cut(smooth_fraction * cutoff, cutoff)
+
+        def phi(r):
+            return epsilon * (a / r) ** n * s(r)
+
+        def dphi(r):
+            core = epsilon * (a / r) ** n
+            return -n * core / r * s(r) + core * ds(r)
+
+        def rho(r):
+            return (a / r) ** m * s(r)
+
+        def drho(r):
+            core = (a / r) ** m
+            return -m * core / r * s(r) + core * ds(r)
+
+        def embed(rho_bar):
+            return -epsilon * c * np.sqrt(np.maximum(rho_bar, 0.0))
+
+        def dembed(rho_bar):
+            rb = np.maximum(rho_bar, 1e-30)
+            return -0.5 * epsilon * c / np.sqrt(rb)
+
+        super().__init__(phi, dphi, rho, drho, embed, dembed, cutoff)
+        self.epsilon, self.a, self.c, self.n, self.m = epsilon, a, c, n, m
+
+
+def make_cu_like_eam(
+    cutoff: float = 4.95,
+    n_r: int = 2000,
+    n_rho: int = 2000,
+) -> EAMPotential:
+    """Tabulated copper-like EAM via cubic splines (funcfl-style).
+
+    Samples the analytic Sutton-Chen forms onto dense tables and
+    interpolates with natural cubic splines, mirroring how LAMMPS
+    evaluates ``Cu_u3.eam``.  Agreement with the analytic potential is
+    verified in tests to < 1e-8 relative.
+    """
+    ref = SuttonChenEAM(cutoff=cutoff)
+    r_min = 0.5  # well below any physical separation
+    r = np.linspace(r_min, cutoff, n_r)
+    phi_s = CubicSpline(r, ref.phi(r))
+    rho_s = CubicSpline(r, ref.rho(r))
+
+    # Density range: generous upper bound (~12 neighbors at ~0.7 a).
+    rho_max = 16.0 * float(ref.rho(np.array([0.7 * ref.a]))[0] + 1.0)
+    rho_grid = np.linspace(0.0, rho_max, n_rho)
+    embed_s = CubicSpline(rho_grid, ref.embed(rho_grid))
+
+    dphi_s = phi_s.derivative()
+    drho_s = rho_s.derivative()
+    dembed_s = embed_s.derivative()
+
+    def clamp_r(fn):
+        def wrapped(x):
+            x = np.clip(np.asarray(x, dtype=float), r_min, cutoff)
+            return fn(x)
+
+        return wrapped
+
+    def clamp_rho(fn):
+        def wrapped(x):
+            x = np.clip(np.asarray(x, dtype=float), 0.0, rho_max)
+            return fn(x)
+
+        return wrapped
+
+    return EAMPotential(
+        phi=clamp_r(phi_s),
+        dphi=clamp_r(dphi_s),
+        rho=clamp_r(rho_s),
+        drho=clamp_r(drho_s),
+        embed=clamp_rho(embed_s),
+        dembed=clamp_rho(dembed_s),
+        cutoff=cutoff,
+    )

@@ -1,0 +1,114 @@
+"""Benchmark presets: the paper's Table 2, as data.
+
+Every knob of the two benchmark configurations lives here, in one place,
+quoted against the paper:
+
+===============  ===================  ==========================
+parameter        L-J                  EAM
+===============  ===================  ==========================
+Units            lj                   metal
+Lattice          0.8442 FCC           3.615 FCC
+Cutoff           2.5                  4.95
+Skin             0.3                  1.0
+Timestep         0.005 tau            0.005 psec
+Newton           on                   on
+Neigh_modify     20, check no         5, check yes
+Fix              NVE                  NVE
+Potential        sigma=1, epsilon=1   Cu_u3.eam (-> Sutton-Chen)
+===============  ===================  ==========================
+
+The CLI and tests build systems from these so a change to the paper's
+configuration is made exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.md.lattice import fcc_lattice, lj_density_to_cell, maxwell_velocities
+from repro.md.potentials import LennardJones, SuttonChenEAM
+from repro.md.simulation import Simulation, SimulationConfig
+
+
+@dataclass(frozen=True)
+class BenchPreset:
+    """One Table 2 column."""
+
+    name: str
+    units: str
+    lattice_value: float  # reduced density (lj) or lattice constant (metal)
+    cutoff: float
+    skin: float
+    dt: float
+    neigh_every: int
+    neigh_check: bool
+    newton: bool = True
+    default_temperature: float = 1.44
+
+    def cell_edge(self) -> float:
+        """FCC cell edge implied by the units/lattice value."""
+        if self.units == "lj":
+            return lj_density_to_cell(self.lattice_value)
+        return self.lattice_value
+
+    def potential(self):
+        """A fresh potential instance for this benchmark."""
+        if self.name == "lj":
+            return LennardJones(epsilon=1.0, sigma=1.0, cutoff=self.cutoff)
+        return SuttonChenEAM(cutoff=self.cutoff)
+
+    def build_system(self, cells: tuple[int, int, int], temperature=None, seed=12345):
+        """Lattice positions, velocities and box for ``cells``."""
+        x, box = fcc_lattice(cells, self.cell_edge())
+        t = temperature if temperature is not None else self.default_temperature
+        if t > 0:
+            v = maxwell_velocities(x.shape[0], t, seed=seed)
+        else:
+            v = np.zeros_like(x)
+        return x, v, box
+
+    def config(self, pattern="parallel-p2p", rdma=True, **overrides) -> SimulationConfig:
+        """SimulationConfig with the preset's Table 2 knobs."""
+        kw = dict(
+            dt=self.dt,
+            skin=self.skin,
+            newton=self.newton,
+            neighbor_every=self.neigh_every,
+            neighbor_check=self.neigh_check,
+            pattern=pattern,
+            rdma=rdma,
+        )
+        kw.update(overrides)
+        return SimulationConfig(**kw)
+
+    def simulation(
+        self,
+        cells: tuple[int, int, int],
+        grid: tuple[int, int, int],
+        pattern: str = "parallel-p2p",
+        rdma: bool = True,
+        temperature=None,
+        seed: int = 12345,
+        **config_overrides,
+    ) -> Simulation:
+        """A ready-to-run Simulation of this benchmark."""
+        x, v, box = self.build_system(cells, temperature, seed)
+        cfg = self.config(pattern, rdma, **config_overrides)
+        return Simulation(x, v, box, self.potential(), cfg, grid=grid)
+
+
+#: Table 2, left column.
+LJ_BENCH = BenchPreset(
+    name="lj", units="lj", lattice_value=0.8442, cutoff=2.5, skin=0.3,
+    dt=0.005, neigh_every=20, neigh_check=False, default_temperature=1.44,
+)
+
+#: Table 2, right column (Cu_u3.eam -> Sutton-Chen substitution).
+EAM_BENCH = BenchPreset(
+    name="eam", units="metal", lattice_value=3.615, cutoff=4.95, skin=1.0,
+    dt=0.005, neigh_every=5, neigh_check=True, default_temperature=0.03,
+)
+
+PRESETS = {"lj": LJ_BENCH, "eam": EAM_BENCH}

@@ -1,0 +1,360 @@
+"""The multi-rank MD driver: LAMMPS' run loop over the simulated world.
+
+One :class:`Simulation` owns a :class:`~repro.runtime.world.World` of
+ranks, a domain decomposition, per-rank atoms/neighbor lists, and a
+pluggable ghost exchange (3-stage, p2p, or fine-grained p2p — the choice
+the paper evaluates).  The step structure is LAMMPS':
+
+1. **Modify** — NVE initial integrate (half kick + drift).
+2. Every ``every`` steps (and per the ``check`` criterion for EAM):
+   **Comm** exchange (migration) + borders, then **Neigh** rebuild;
+   otherwise **Comm** forward (ghost positions).
+3. **Pair** — force evaluation; EAM interleaves its density reverse-sum
+   and fp forward between passes (through the same exchange).
+4. **Comm** — reverse (ghost forces -> owners, Newton on).
+5. **Modify** — NVE final integrate.
+6. **Other** — thermo output and, for ``check=True``, the global
+   allreduce that decides rebuilds (the cost that dominates EAM's
+   "Other" column in Table 3).
+
+Wall time of each stage is accumulated in :class:`StageTimers`; the
+modeled Fugaku time of the same run comes from the perfmodel, which
+prices this driver's communication schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.exchange_base import GhostExchange
+from repro.core.fine_p2p import FineGrainedP2PExchange
+from repro.core.p2p import P2PExchange
+from repro.core.three_stage import ThreeStageExchange
+from repro.md.atoms import Atoms
+from repro.md.domain import Domain, decompose_grid
+from repro.md.integrate import NVEIntegrator
+from repro.md.neighbor import NeighborList, NeighborSettings
+from repro.md.potentials.base import PairPotential
+from repro.md.region import Box
+from repro.md.stages import Stage, StageTimers
+from repro.md.thermo import Thermo, ThermoSample
+from repro.runtime.collectives import allreduce
+from repro.runtime.world import World
+
+
+@dataclass
+class SimulationConfig:
+    """Run parameters (the input-script knobs of paper Table 2)."""
+
+    dt: float = 0.005
+    skin: float = 0.3
+    neighbor_every: int = 20
+    neighbor_check: bool = False
+    newton: bool = True
+    pattern: str = "p2p"  # "3stage" | "p2p" | "parallel-p2p"
+    rdma: bool = False
+    use_border_bins: bool = True
+    shell_radius: int = 1
+    mass: float = 1.0
+    thermo_every: int = 0  # 0: only on demand
+    seed: int = 12345
+    #: also price each step's communication on the network simulator and
+    #: accumulate it into ``timers.model`` (simulated Fugaku seconds)
+    model_machine_time: bool = False
+    extra: dict = field(default_factory=dict)
+
+
+class Simulation:
+    """A complete multi-rank MD run."""
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        v: np.ndarray,
+        box: Box,
+        potential: PairPotential,
+        config: SimulationConfig,
+        grid: tuple[int, int, int] | None = None,
+        n_ranks: int | None = None,
+        fixes: list | None = None,
+        types: np.ndarray | None = None,
+    ) -> None:
+        x = np.asarray(x, dtype=float)
+        v = np.asarray(v, dtype=float)
+        if x.shape != v.shape or x.ndim != 2 or x.shape[1] != 3:
+            raise ValueError("x and v must both be (N, 3)")
+        if types is not None:
+            types = np.asarray(types, dtype=np.int32)
+            if types.shape != (x.shape[0],):
+                raise ValueError("types must be a 1-D array matching x")
+        self.config = config
+        self.potential = potential
+        self.box = box
+        self.natoms = x.shape[0]
+
+        if grid is None:
+            grid = decompose_grid(n_ranks or 1, tuple(box.lengths))
+        self.grid = grid
+        self.world = World(int(np.prod(grid)), grid=grid)
+        self.domain = Domain(box, grid)
+
+        rcomm = potential.cutoff + config.skin
+        sub_len = float(np.min(self.domain.sub_lengths))
+        if rcomm > config.shell_radius * sub_len:
+            raise ValueError(
+                f"ghost shell {rcomm:.3f} exceeds shell_radius "
+                f"{config.shell_radius} x sub-box {sub_len:.3f}; increase "
+                "shell_radius or use fewer ranks"
+            )
+        self.exchange = self._make_exchange(rcomm)
+        self.half = config.newton and not potential.needs_full_list
+
+        settings = NeighborSettings(
+            cutoff=potential.cutoff,
+            skin=config.skin,
+            every=config.neighbor_every,
+            check=config.neighbor_check,
+            half=self.half,
+            ghost_rule=self.exchange.ghost_rule,
+        )
+        self.integrator = NVEIntegrator(config.dt, config.mass)
+        self.fixes = list(fixes) if fixes else []
+        self.thermo = Thermo(box.volume, config.mass)
+        self.timers = StageTimers()
+        self.step_count = 0
+        self.rebuilds = 0
+        self.samples: list[ThermoSample] = []
+        self._last_results: dict[int, object] = {}
+
+        # Distribute atoms and per-rank state.
+        wrapped = box.wrap(x)
+        groups = self.domain.scatter(wrapped)
+        tags = np.arange(self.natoms, dtype=np.int64)
+        for rank in range(self.world.size):
+            pos = self.world.grid_pos_of(rank)
+            idx = groups.get(pos, np.empty(0, dtype=np.intp))
+            atoms = Atoms(capacity=max(2 * idx.size, 64))
+            atoms.set_local(
+                wrapped[idx], v[idx], tags[idx],
+                None if types is None else types[idx],
+            )
+            ctx = self.world.ranks[rank]
+            ctx.state["atoms"] = atoms
+            ctx.state["neigh"] = NeighborList(settings)
+
+        self._setup_done = False
+
+    # ------------------------------------------------------------------
+    def _make_exchange(self, rcomm: float) -> GhostExchange:
+        cfg = self.config
+        newton = cfg.newton and not self.potential.needs_full_list
+        if cfg.pattern == "3stage":
+            if not newton:
+                # Full shell is what 3-stage builds anyway; the list type
+                # is decided by `half` below.
+                pass
+            return ThreeStageExchange(
+                self.world, self.domain, rcomm, radius=cfg.shell_radius
+            )
+        if cfg.pattern == "p2p":
+            return P2PExchange(
+                self.world,
+                self.domain,
+                rcomm,
+                newton=newton,
+                radius=cfg.shell_radius,
+                rdma=cfg.rdma,
+                use_border_bins=cfg.use_border_bins,
+            )
+        if cfg.pattern == "parallel-p2p":
+            return FineGrainedP2PExchange(
+                self.world,
+                self.domain,
+                rcomm,
+                newton=newton,
+                radius=cfg.shell_radius,
+                rdma=cfg.rdma,
+                use_border_bins=cfg.use_border_bins,
+            )
+        raise ValueError(f"unknown communication pattern {cfg.pattern!r}")
+
+    def atoms_of(self, rank: int) -> Atoms:
+        """The atom storage of ``rank``."""
+        return self.world.ranks[rank].state["atoms"]
+
+    def neigh_of(self, rank: int) -> NeighborList:
+        """The neighbor list of ``rank``."""
+        return self.world.ranks[rank].state["neigh"]
+
+    # ------------------------------------------------------------------
+    def setup(self) -> None:
+        """Initial borders + neighbor lists + forces (LAMMPS setup())."""
+        with self.timers.timing(Stage.COMM):
+            self.exchange.exchange()
+            self.exchange.borders()
+        with self.timers.timing(Stage.NEIGH):
+            for rank in range(self.world.size):
+                atoms = self.atoms_of(rank)
+                self.neigh_of(rank).build(atoms.x, atoms.nlocal)
+        self._compute_forces()
+        self._setup_done = True
+
+    def _compute_forces(self) -> None:
+        """Pair stage (+ reverse comm) on every rank."""
+        pot = self.potential
+        with self.timers.timing(Stage.PAIR):
+            for rank in range(self.world.size):
+                self.atoms_of(rank).zero_forces()
+            if hasattr(pot, "density_pass"):
+                scratch = {}
+                for rank in range(self.world.size):
+                    atoms = self.atoms_of(rank)
+                    nl = self.neigh_of(rank)
+                    scratch[rank] = pot.density_pass(
+                        atoms, nl.pair_i, nl.pair_j, half_list=self.half
+                    )
+                if self.half:
+                    self.exchange.reverse_sum_scalar_world(
+                        {r: s["density"] for r, s in scratch.items()}
+                    )
+                for rank in range(self.world.size):
+                    pot.embedding_pass(self.atoms_of(rank), scratch[rank])
+                self.exchange.forward_scalar_world(
+                    {r: s["fp"] for r, s in scratch.items()}
+                )
+                for rank in range(self.world.size):
+                    self._last_results[rank] = pot.force_pass(
+                        self.atoms_of(rank), scratch[rank]
+                    )
+            else:
+                for rank in range(self.world.size):
+                    atoms = self.atoms_of(rank)
+                    nl = self.neigh_of(rank)
+                    self._last_results[rank] = pot.compute(
+                        atoms, nl.pair_i, nl.pair_j, half_list=self.half
+                    )
+        if self.half or self.potential.force_ghosts:
+            # Newton's-law runs always reverse; 3-body full-list kernels
+            # (Stillinger-Weber/Tersoff style) also scatter triplet forces
+            # onto ghosts and need the same merge (LAMMPS: "pair style sw
+            # requires newton pair on").
+            with self.timers.timing(Stage.COMM):
+                self.exchange.reverse()
+
+    def _needs_rebuild(self) -> bool:
+        """The every/check policy of ``neigh_modify`` (Table 2)."""
+        cfg = self.config
+        if self.step_count == 0:
+            return False
+        if self.step_count % cfg.neighbor_every:
+            return False
+        if not cfg.neighbor_check:
+            return True
+        # check yes: any rank's atoms moved beyond half the skin ->
+        # global OR via allreduce (the EAM cost in Table 3 "Other").
+        flags = [
+            self.neigh_of(rank).needs_rebuild(self.atoms_of(rank).x_local())
+            for rank in range(self.world.size)
+        ]
+        with self.timers.timing(Stage.OTHER):
+            decision = bool(allreduce(flags, op=any))
+        return decision
+
+    def step(self) -> None:
+        """Advance one MD timestep."""
+        if not self._setup_done:
+            self.setup()
+        self.step_count += 1
+
+        with self.timers.timing(Stage.MODIFY):
+            for rank in range(self.world.size):
+                self.integrator.initial_integrate(self.atoms_of(rank))
+
+        rebuilt = self._needs_rebuild()
+        if rebuilt:
+            with self.timers.timing(Stage.COMM):
+                self.exchange.exchange()
+                self.exchange.borders()
+            with self.timers.timing(Stage.NEIGH):
+                for rank in range(self.world.size):
+                    atoms = self.atoms_of(rank)
+                    self.neigh_of(rank).build(atoms.x, atoms.nlocal)
+            self.rebuilds += 1
+        else:
+            with self.timers.timing(Stage.COMM):
+                self.exchange.forward()
+
+        if self.config.model_machine_time:
+            from repro.core.modeling import modeled_step_comm_time
+
+            self.timers.add_model(
+                Stage.COMM,
+                modeled_step_comm_time(self.exchange, rebuilt, newton=self.half),
+            )
+
+        self._compute_forces()
+
+        with self.timers.timing(Stage.MODIFY):
+            for rank in range(self.world.size):
+                self.integrator.final_integrate(self.atoms_of(rank))
+
+        if self.fixes:
+            temperature = None
+            if any(f.needs_temperature for f in self.fixes):
+                with self.timers.timing(Stage.OTHER):
+                    temperature = self.sample_thermo().temperature
+            with self.timers.timing(Stage.MODIFY):
+                for fix in self.fixes:
+                    for rank in range(self.world.size):
+                        fix.end_of_step(
+                            self.atoms_of(rank), rank, self.step_count, temperature
+                        )
+
+        if self.config.thermo_every and self.step_count % self.config.thermo_every == 0:
+            with self.timers.timing(Stage.OTHER):
+                self.samples.append(self.sample_thermo())
+
+    def run(self, n_steps: int) -> None:
+        """Advance ``n_steps`` timesteps."""
+        for _ in range(n_steps):
+            self.step()
+
+    # ------------------------------------------------------------------
+    def sample_thermo(self) -> ThermoSample:
+        """Global thermo reduction (an allreduce in real LAMMPS)."""
+        ke = [self.thermo.local_kinetic(self.atoms_of(r)) for r in range(self.world.size)]
+        pe = [getattr(self._last_results.get(r), "energy", 0.0) for r in range(self.world.size)]
+        w = [getattr(self._last_results.get(r), "virial", 0.0) for r in range(self.world.size)]
+        return Thermo.reduce(
+            self.step_count, ke, pe, w, self.natoms, self.box.volume
+        )
+
+    def gather_positions(self) -> np.ndarray:
+        """All local positions, ordered by global tag (for comparisons)."""
+        out = np.zeros((self.natoms, 3))
+        for rank in range(self.world.size):
+            atoms = self.atoms_of(rank)
+            out[atoms.tag[: atoms.nlocal]] = atoms.x_local()
+        return out
+
+    def gather_velocities(self) -> np.ndarray:
+        """All local velocities, ordered by global tag."""
+        out = np.zeros((self.natoms, 3))
+        for rank in range(self.world.size):
+            atoms = self.atoms_of(rank)
+            out[atoms.tag[: atoms.nlocal]] = atoms.v
+        return out
+
+    def gather_forces(self) -> np.ndarray:
+        """All local forces, ordered by global tag."""
+        out = np.zeros((self.natoms, 3))
+        for rank in range(self.world.size):
+            atoms = self.atoms_of(rank)
+            out[atoms.tag[: atoms.nlocal]] = atoms.f_local()
+        return out
+
+    def total_local_atoms(self) -> int:
+        """Sum of local atom counts (conservation check)."""
+        return sum(self.atoms_of(r).nlocal for r in range(self.world.size))

@@ -1,0 +1,81 @@
+"""The five-stage timing breakdown of LAMMPS (paper Table 3).
+
+LAMMPS attributes every cycle of a run to one of: **Pair** (force
+evaluation, including EAM's mid-pair communication), **Neigh** (neighbor
+list builds), **Comm** (border / forward / reverse / exchange ghost
+communication), **Modify** (integration fixes: the NVE update), and
+**Other** (everything else — output, and for EAM the global
+neighbor-check allreduce that dominates at scale).
+
+:class:`StageTimers` accumulates two parallel accounts:
+
+* ``wall`` — real elapsed seconds of this Python process (what
+  pytest-benchmark measures), and
+* ``model`` — simulated Fugaku seconds contributed by the cost models
+  (network simulator, thread-pool overheads).  The perfmodel package
+  reports these; functional tests mostly assert on structure, not time.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class Stage(str, Enum):
+    """The five LAMMPS timing stages of Table 3."""
+    PAIR = "Pair"
+    NEIGH = "Neigh"
+    COMM = "Comm"
+    MODIFY = "Modify"
+    OTHER = "Other"
+
+
+@dataclass
+class StageTimers:
+    """Accumulated per-stage times (wall and modeled)."""
+
+    wall: dict[Stage, float] = field(default_factory=lambda: {s: 0.0 for s in Stage})
+    model: dict[Stage, float] = field(default_factory=lambda: {s: 0.0 for s in Stage})
+
+    @contextmanager
+    def timing(self, stage: Stage):
+        """Context manager accumulating wall time into ``stage``."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.wall[stage] += time.perf_counter() - t0
+
+    def add_model(self, stage: Stage, seconds: float) -> None:
+        """Account simulated machine time to ``stage``."""
+        if seconds < 0:
+            raise ValueError(f"negative model time {seconds}")
+        self.model[stage] += seconds
+
+    def total_wall(self) -> float:
+        """Summed wall seconds across stages."""
+        return sum(self.wall.values())
+
+    def total_model(self) -> float:
+        """Summed modeled seconds across stages."""
+        return sum(self.model.values())
+
+    def breakdown(self, which: str = "wall") -> dict[str, tuple[float, float]]:
+        """Stage -> (seconds, percent) like LAMMPS' "MPI task timing"."""
+        table = self.wall if which == "wall" else self.model
+        total = sum(table.values())
+        return {
+            s.value: (t, 100.0 * t / total if total > 0 else 0.0)
+            for s, t in table.items()
+        }
+
+    def merged_with(self, other: "StageTimers") -> "StageTimers":
+        """Element-wise sum of two timer sets."""
+        out = StageTimers()
+        for s in Stage:
+            out.wall[s] = self.wall[s] + other.wall[s]
+            out.model[s] = self.model[s] + other.model[s]
+        return out

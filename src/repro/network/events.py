@@ -1,0 +1,96 @@
+"""Minimal discrete-event primitives.
+
+The network model needs only two abstractions:
+
+* :class:`EventQueue` — a time-ordered queue of callbacks (stable for
+  equal timestamps, so simulations are deterministic).
+* :class:`Resource` — a serially-reusable resource (a TNI engine, a CPU
+  core) whose occupancy is tracked as a ``busy_until`` horizon.
+
+They are deliberately tiny; the heavy lifting (what events exist and what
+they cost) lives in :mod:`repro.network.simulator`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+
+class EventQueue:
+    """A deterministic time-ordered event queue."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[float], None]]] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+        self.processed = 0
+
+    def schedule(self, time: float, action: Callable[[float], None]) -> None:
+        """Schedule ``action(time)`` at absolute ``time``.
+
+        Scheduling in the past (before ``now``) is a logic error.
+        """
+        if time < self.now:
+            raise ValueError(f"cannot schedule at {time} < now {self.now}")
+        heapq.heappush(self._heap, (time, next(self._counter), action))
+
+    def schedule_in(self, delay: float, action: Callable[[float], None]) -> None:
+        """Schedule ``action`` after ``delay`` seconds from ``now``."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self.schedule(self.now + delay, action)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def run(self, until: float | None = None) -> float:
+        """Drain the queue (optionally up to ``until``); return final time."""
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                return self.now
+            time, _, action = heapq.heappop(self._heap)
+            self.now = time
+            self.processed += 1
+            action(time)
+        return self.now
+
+
+class Resource:
+    """A serially-reusable resource tracked by a busy horizon.
+
+    ``acquire(ready, duration)`` returns the interval actually granted:
+    the resource starts serving no earlier than both ``ready`` (the
+    requester) and its own previous commitments.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.busy_until = 0.0
+        self.busy_time = 0.0
+        self.grants = 0
+
+    def acquire(self, ready: float, duration: float) -> tuple[float, float]:
+        """Reserve the resource from ``ready`` for ``duration``; returns (start, end)."""
+        if duration < 0:
+            raise ValueError(f"negative duration {duration}")
+        start = max(ready, self.busy_until)
+        end = start + duration
+        self.busy_until = end
+        self.busy_time += duration
+        self.grants += 1
+        return start, end
+
+    def reset(self) -> None:
+        """Clear occupancy history."""
+        self.busy_until = 0.0
+        self.busy_time = 0.0
+        self.grants = 0
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of ``[0, horizon]`` this resource spent busy."""
+        if horizon <= 0:
+            return 0.0
+        return min(self.busy_time / horizon, 1.0)

@@ -1,0 +1,206 @@
+"""Message-level network simulation.
+
+The simulator answers: *given this set of messages, injected by these
+threads through these TNIs under this software stack, when does the last
+byte arrive?*  It models exactly the effects the paper's analysis
+(section 3.1) is built on:
+
+* **Injection serialization** — a thread injects messages one at a time;
+  each injection consumes the stack's ``T_inj`` of CPU.  A single thread
+  hopping between several VCQs additionally pays a VCQ-switch cost (the
+  "software function call" overhead the paper blames for 6TNI-single
+  being slow).
+* **TNI engine serialization** — all CQs of a TNI share one
+  message-processing engine (Fig. 7), so messages from different ranks or
+  threads that land on the same TNI queue up; the engine holds a message
+  for its serialization time (with a small floor for tiny messages).
+* **Pipelined transfer** — the wire time of a message overlaps both the
+  sender's subsequent injections and other TNIs' work; per section 3.1,
+  transmission is fully pipelined so hop latency is additive but
+  serialization is paid once.
+
+Two entry points: :func:`simulate_round` for one bulk-synchronous round of
+messages, and :class:`NetworkSimulator` for staged patterns (the 3-stage
+exchange) with inter-stage barriers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.params import FUGAKU, MachineParams
+from repro.network.events import Resource
+from repro.network.stacks import SoftwareStack, UtofuStack
+
+
+@dataclass(frozen=True)
+class Message:
+    """One logical message to be delivered.
+
+    ``rank``/``thread`` identify the injecting context (threads of the
+    same rank run on different cores, so distinct ``(rank, thread)`` pairs
+    inject in parallel); ``tni`` is the network interface used.
+    """
+
+    nbytes: int
+    hops: int = 1
+    rank: int = 0
+    thread: int = 0
+    tni: int = 0
+    known_length: bool = True
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError(f"negative message size {self.nbytes}")
+        if self.hops < 0:
+            raise ValueError(f"negative hop count {self.hops}")
+
+
+@dataclass
+class RoundResult:
+    """Timing of one communication round."""
+
+    completion_time: float
+    last_injection: float
+    arrivals: list[float] = field(default_factory=list)
+    wire_messages: int = 0
+
+    @property
+    def message_count(self) -> int:
+        return len(self.arrivals)
+
+    def message_rate(self) -> float:
+        """Delivered logical messages per second."""
+        if self.completion_time <= 0:
+            return float("inf")
+        return self.message_count / self.completion_time
+
+    def bandwidth(self, payload_bytes: int) -> float:
+        """Achieved payload bandwidth for this round."""
+        if self.completion_time <= 0:
+            return float("inf")
+        return payload_bytes / self.completion_time
+
+
+def simulate_round(
+    messages: list[Message],
+    stack: SoftwareStack,
+    params: MachineParams = FUGAKU,
+    start_time: float = 0.0,
+    thread_clocks: dict[tuple[int, int], float] | None = None,
+    tni_engines: dict[int, Resource] | None = None,
+) -> RoundResult:
+    """Simulate one round of message injections.
+
+    Messages are processed in list order per thread (the order the code
+    would issue them); different threads proceed concurrently.  Optional
+    ``thread_clocks``/``tni_engines`` allow chaining rounds while keeping
+    resource history (used by :class:`NetworkSimulator`).
+    """
+    clocks: dict[tuple[int, int], float] = thread_clocks if thread_clocks is not None else {}
+    engines: dict[int, Resource] = tni_engines if tni_engines is not None else {}
+    last_vcq: dict[tuple[int, int], int] = {}
+
+    arrivals: list[float] = []
+    last_injection = start_time
+    wire_messages = 0
+
+    for msg in messages:
+        key = (msg.rank, msg.thread)
+        clock = max(clocks.get(key, start_time), start_time)
+
+        n_wire = stack.protocol_message_count(msg.nbytes, msg.known_length)
+        wire_messages += n_wire
+
+        # VCQ switch: a thread moving to a different TNI's VCQ pays extra
+        # software overhead (descriptor cache, function-call chain).
+        if key in last_vcq and last_vcq[key] != msg.tni:
+            clock += params.vcq_switch_overhead
+        last_vcq[key] = msg.tni
+
+        arrival = clock
+        for i in range(n_wire):
+            # A length-prefix protocol message is tiny; the payload is last.
+            nbytes = 8 if (n_wire > 1 and i < n_wire - 1) else msg.nbytes
+            clock += stack.injection_interval(nbytes)
+            inject_time = clock
+
+            engine = engines.setdefault(msg.tni, Resource(f"tni{msg.tni}"))
+            serial = max(nbytes / params.link_bandwidth, params.tni_engine_message_time)
+            eng_start, _eng_end = engine.acquire(inject_time, serial)
+
+            arrival = (
+                eng_start
+                + serial
+                + stack.software_latency(nbytes)
+                + params.rdma_put_latency
+                + max(msg.hops - 1, 0) * params.hop_latency
+            )
+
+        clocks[key] = clock
+        last_injection = max(last_injection, clock)
+        arrivals.append(arrival)
+
+    completion = max(arrivals, default=start_time)
+    return RoundResult(
+        completion_time=completion,
+        last_injection=last_injection,
+        arrivals=arrivals,
+        wire_messages=wire_messages,
+    )
+
+
+class NetworkSimulator:
+    """Stateful simulator for staged communication patterns.
+
+    The 3-stage exchange (paper Fig. 4) runs three rounds with a barrier
+    between them — stage *k+1* may not start before every stage-*k*
+    message has arrived (each stage forwards part of what the previous one
+    received).  ``barrier_cost`` adds the synchronization price itself;
+    MPI barriers on a real machine cost microseconds, a uTofu flag-poll
+    barrier much less.
+    """
+
+    def __init__(
+        self,
+        stack: SoftwareStack | None = None,
+        params: MachineParams = FUGAKU,
+        barrier_cost: float | None = None,
+    ) -> None:
+        self.params = params
+        self.stack = stack if stack is not None else UtofuStack(params=params)
+        if barrier_cost is None:
+            # A barrier is two software latencies (notify + release) per
+            # participating stage under either stack.
+            barrier_cost = 2.0 * self.stack.software_latency(8)
+        self.barrier_cost = barrier_cost
+
+    def run_round(self, messages: list[Message]) -> RoundResult:
+        """One bulk round with fresh resources."""
+        return simulate_round(messages, self.stack, self.params)
+
+    def run_staged(self, stages: list[list[Message]]) -> RoundResult:
+        """Sequential stages with inter-stage barriers (3-stage pattern)."""
+        t = 0.0
+        arrivals: list[float] = []
+        last_injection = 0.0
+        wire = 0
+        for i, stage in enumerate(stages):
+            if i > 0:
+                t += self.barrier_cost
+            res = simulate_round(stage, self.stack, self.params, start_time=t)
+            arrivals.extend(res.arrivals)
+            last_injection = max(last_injection, res.last_injection)
+            wire += res.wire_messages
+            t = res.completion_time
+        return RoundResult(
+            completion_time=t,
+            last_injection=last_injection,
+            arrivals=arrivals,
+            wire_messages=wire,
+        )
+
+    def point_to_point_time(self, nbytes: int, hops: int) -> float:
+        """Time for one isolated message (the T_0..T_5 of Table 1)."""
+        res = self.run_round([Message(nbytes=nbytes, hops=hops)])
+        return res.completion_time

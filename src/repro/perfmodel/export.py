@@ -1,0 +1,70 @@
+"""CSV export of scaling sweeps and stage breakdowns.
+
+Downstream plotting (gnuplot, pandas, the paper-figure pipelines this
+repository's tables feed) wants flat CSV; these helpers serialize the
+perfmodel's result objects without pulling in any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Sequence
+
+from repro.perfmodel.scaling import ScalingPoint, parallel_efficiency
+from repro.perfmodel.stagemodel import StageTimesResult
+
+STAGE_ORDER = ("Pair", "Neigh", "Comm", "Modify", "Other")
+
+
+def scaling_to_csv(points: Sequence[ScalingPoint], path=None) -> str:
+    """Serialize a scaling curve: one row per node count.
+
+    Columns: nodes, natoms, atoms_per_core, step time, parallel
+    efficiency, and the five per-stage seconds.  Returns the CSV text;
+    writes it to ``path`` when given.
+    """
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(
+        ["nodes", "natoms", "atoms_per_core", "step_seconds", "efficiency"]
+        + [f"{s.lower()}_seconds" for s in STAGE_ORDER]
+    )
+    effs = parallel_efficiency(list(points))
+    for p, eff in zip(points, effs):
+        writer.writerow(
+            [
+                p.nodes,
+                p.natoms,
+                f"{p.atoms_per_core:.6g}",
+                f"{p.step_time:.8e}",
+                f"{eff:.6f}",
+            ]
+            + [f"{p.result.stages[s]:.8e}" for s in STAGE_ORDER]
+        )
+    text = buf.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def breakdown_to_csv(results: Sequence[StageTimesResult], path=None) -> str:
+    """Serialize stage breakdowns: one row per (workload, variant, nodes)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(
+        ["workload", "variant", "nodes", "total_seconds"]
+        + [f"{s.lower()}_seconds" for s in STAGE_ORDER]
+        + [f"{s.lower()}_pct" for s in STAGE_ORDER]
+    )
+    for r in results:
+        writer.writerow(
+            [r.workload, r.variant, r.nodes, f"{r.total:.8e}"]
+            + [f"{r.stages[s]:.8e}" for s in STAGE_ORDER]
+            + [f"{r.percent(s):.3f}" for s in STAGE_ORDER]
+        )
+    text = buf.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text

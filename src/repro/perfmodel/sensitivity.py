@@ -1,0 +1,186 @@
+"""Calibration sensitivity: is the reproduction's story robust?
+
+Several machine constants are estimates (marked in
+:class:`~repro.machine.params.MachineParams` and
+:class:`~repro.perfmodel.stagemodel.CalibrationConstants`).  A
+reproduction whose conclusions flip when an estimated constant moves by
+30 % would be calibration-fitting, not reproduction.  This module
+perturbs each constant over a multiplicative range and re-evaluates the
+paper's qualitative claims:
+
+* C1 — opt beats ref at 36 864 nodes (LJ), speedup > 1.5x;
+* C2 — communication-time reduction stays above 50 %;
+* C3 — naive MPI p2p stays slower than MPI 3-stage (Fig. 6);
+* C4 — uTofu p2p stays faster than uTofu 3-stage (Fig. 6);
+* C5 — single-thread 6TNI stays slower than 4TNI at small messages.
+
+``sweep()`` reports, per constant, the perturbation range over which all
+claims hold.  The bench asserts every claim survives +/-30 % on every
+estimated constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.machine.params import FUGAKU, MachineParams
+from repro.network.simulator import Message, simulate_round
+from repro.network.stacks import UtofuStack
+from repro.perfmodel.scaling import STRONG_LJ_ATOMS
+from repro.perfmodel.stagemodel import LJ_WORKLOAD_65K, StageModel, Workload
+from repro.perfmodel.variants import variant_by_name
+
+#: MachineParams fields documented as estimates (not paper-measured).
+ESTIMATED_PARAMS = (
+    "hop_latency",
+    "mpi_t_inj",
+    "utofu_t_inj",
+    "mpi_per_message_overhead",
+    "utofu_per_message_overhead",
+    "tni_engine_message_time",
+    "vcq_switch_overhead",
+    "registration_base",
+    "buffer_copy_bandwidth",
+)
+
+
+@dataclass
+class ClaimResults:
+    """Truth value of each qualitative claim under one parameterization."""
+
+    opt_beats_ref: bool
+    comm_reduction_ok: bool
+    mpi_p2p_loses: bool
+    utofu_p2p_wins: bool
+    six_tni_worse: bool
+
+    @property
+    def all_hold(self) -> bool:
+        return all(
+            (
+                self.opt_beats_ref,
+                self.comm_reduction_ok,
+                self.mpi_p2p_loses,
+                self.utofu_p2p_wins,
+                self.six_tni_worse,
+            )
+        )
+
+    def failed(self) -> list[str]:
+        """Names of the claims that did not hold."""
+        out = []
+        for name in (
+            "opt_beats_ref",
+            "comm_reduction_ok",
+            "mpi_p2p_loses",
+            "utofu_p2p_wins",
+            "six_tni_worse",
+        ):
+            if not getattr(self, name):
+                out.append(name)
+        return out
+
+
+def evaluate_claims(params: MachineParams) -> ClaimResults:
+    """Re-derive the five qualitative claims under ``params``."""
+    model = StageModel(params)
+    lj = Workload("lj", "lj", STRONG_LJ_ATOMS, 0.8442, 2.8, 0.005, rebuild_every=20)
+    ref = model.step_times(lj, 36864, variant_by_name("ref"))
+    opt = model.step_times(lj, 36864, variant_by_name("opt"))
+
+    w = LJ_WORKLOAD_65K
+    t_mpi3s = model.exchange_round_time(variant_by_name("ref"), w, 768)
+    t_mpip2p = model.exchange_round_time(variant_by_name("mpi_p2p"), w, 768)
+    t_ut3s = model.exchange_round_time(variant_by_name("utofu_3stage"), w, 768)
+    t_utp2p = model.exchange_round_time(variant_by_name("4tni_p2p"), w, 768)
+
+    stack = UtofuStack(params=params)
+    four = simulate_round(
+        [Message(256, rank=r, thread=0, tni=r) for r in range(4) for _ in range(40)],
+        stack,
+        params,
+    )
+    six = simulate_round(
+        [
+            Message(256, rank=r, thread=0, tni=i % 6)
+            for r in range(4)
+            for i in range(40)
+        ],
+        stack,
+        params,
+    )
+
+    return ClaimResults(
+        opt_beats_ref=ref.total / opt.total > 1.5,
+        comm_reduction_ok=(1 - opt.stages["Comm"] / ref.stages["Comm"]) > 0.5,
+        mpi_p2p_loses=t_mpip2p > t_mpi3s,
+        utofu_p2p_wins=t_utp2p < t_ut3s,
+        six_tni_worse=six.completion_time > four.completion_time,
+    )
+
+
+@dataclass
+class SensitivityRow:
+    """Sweep outcome for one constant."""
+
+    name: str
+    base_value: float
+    results: dict[float, ClaimResults] = field(default_factory=dict)
+
+    def holds_at(self, factor: float) -> bool:
+        """Whether every claim held at the given perturbation factor."""
+        return self.results[factor].all_hold
+
+    @property
+    def robust_range(self) -> tuple[float, float]:
+        """Widest contiguous factor range (around 1.0) where all hold."""
+        factors = sorted(self.results)
+        lo = hi = 1.0
+        for f in reversed([f for f in factors if f <= 1.0]):
+            if self.results[f].all_hold:
+                lo = f
+            else:
+                break
+        for f in [f for f in factors if f >= 1.0]:
+            if self.results[f].all_hold:
+                hi = f
+            else:
+                break
+        return (lo, hi)
+
+
+def sweep(
+    factors=(0.5, 0.7, 1.0, 1.3, 2.0),
+    params: MachineParams = FUGAKU,
+    names=ESTIMATED_PARAMS,
+) -> list[SensitivityRow]:
+    """Perturb each estimated constant and re-check every claim."""
+    rows = []
+    for name in names:
+        base = getattr(params, name)
+        row = SensitivityRow(name=name, base_value=base)
+        for factor in factors:
+            perturbed = replace(params, **{name: base * factor})
+            row.results[factor] = evaluate_claims(perturbed)
+        rows.append(row)
+    return rows
+
+
+def render(rows: list[SensitivityRow]) -> str:
+    """Plain-text sensitivity table."""
+    from repro.figures.common import format_table
+
+    table_rows = []
+    for row in rows:
+        lo, hi = row.robust_range
+        factors = sorted(row.results)
+        marks = " ".join(
+            ("Y" if row.results[f].all_hold else "n") for f in factors
+        )
+        table_rows.append([row.name, f"{row.base_value:.3g}", marks, f"[{lo}x, {hi}x]"])
+    factors = sorted(rows[0].results) if rows else []
+    title = (
+        "Calibration sensitivity — claims hold (Y/n) at factors "
+        + ", ".join(f"{f}x" for f in factors)
+    )
+    return format_table(["constant", "base", "claims hold", "robust range"], table_rows, title=title)

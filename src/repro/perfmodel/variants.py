@@ -1,0 +1,148 @@
+"""The five artifact code variants (paper appendix "Artifact Description").
+
+Each variant is a declarative spec consumed by the stage model:
+
+=============  =======  ========  ============  =====  ==================
+variant        stack    pattern   comm threads  TNIs   compute threading
+=============  =======  ========  ============  =====  ==================
+ref            MPI      3-stage   1             (MPI)  OpenMP
+utofu_3stage   uTofu    3-stage   1             1      OpenMP
+4tni_p2p       uTofu    p2p       1             1/rank OpenMP
+6tni_p2p       uTofu    p2p       1             6      OpenMP
+opt            uTofu    p2p       6             6      thread pool
+=============  =======  ========  ============  =====  ==================
+
+``mpi_p2p`` is added beyond the artifact list because Fig. 6 plots it
+(the naive MPI p2p that *loses* to MPI 3-stage and motivates uTofu).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.params import FUGAKU, MachineParams
+from repro.network.stacks import MpiStack, SoftwareStack, UtofuStack
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One code variant's communication/threading configuration."""
+
+    name: str
+    stack_name: str  # "mpi" | "utofu"
+    pattern: str  # "3stage" | "p2p"
+    comm_threads: int  # threads driving communication
+    tnis_used: int  # distinct TNIs one rank injects through
+    threadpool_compute: bool  # thread pool (True) vs OpenMP (False)
+    rdma_preregistered: bool = False
+    message_combine: bool = False
+    border_bins: bool = False
+
+    def stack(self, params: MachineParams = FUGAKU) -> SoftwareStack:
+        """The software-stack cost model this variant runs on."""
+        if self.stack_name == "mpi":
+            return MpiStack(params=params)
+        return UtofuStack(params=params)
+
+    @property
+    def is_parallel_comm(self) -> bool:
+        return self.comm_threads > 1
+
+    @property
+    def label(self) -> str:
+        return self.name
+
+
+#: The paper's artifact variants plus the Fig. 6 MPI-p2p strawman.
+VARIANTS: dict[str, Variant] = {
+    "ref": Variant(
+        name="ref",
+        stack_name="mpi",
+        pattern="3stage",
+        comm_threads=1,
+        tnis_used=1,
+        threadpool_compute=False,
+    ),
+    "mpi_p2p": Variant(
+        name="mpi_p2p",
+        stack_name="mpi",
+        pattern="p2p",
+        comm_threads=1,
+        tnis_used=1,
+        threadpool_compute=False,
+    ),
+    "utofu_3stage": Variant(
+        name="utofu_3stage",
+        stack_name="utofu",
+        pattern="3stage",
+        comm_threads=1,
+        tnis_used=1,
+        threadpool_compute=False,
+    ),
+    "4tni_p2p": Variant(
+        name="4tni_p2p",
+        stack_name="utofu",
+        pattern="p2p",
+        comm_threads=1,
+        tnis_used=1,  # each of the 4 ranks owns its own TNI
+        threadpool_compute=False,
+        rdma_preregistered=True,
+        message_combine=True,
+    ),
+    "6tni_p2p": Variant(
+        name="6tni_p2p",
+        stack_name="utofu",
+        pattern="p2p",
+        comm_threads=1,
+        tnis_used=6,  # one thread hopping across 6 VCQs (contended)
+        threadpool_compute=False,
+        rdma_preregistered=True,
+        message_combine=True,
+    ),
+    "opt": Variant(
+        name="opt",
+        stack_name="utofu",
+        pattern="p2p",
+        comm_threads=6,
+        tnis_used=6,
+        threadpool_compute=True,
+        rdma_preregistered=True,
+        message_combine=True,
+        border_bins=True,
+    ),
+}
+
+
+def variant_by_name(name: str) -> Variant:
+    """Look up a variant; raises ValueError with choices on miss."""
+    try:
+        return VARIANTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown variant {name!r}; choose from {sorted(VARIANTS)}"
+        ) from None
+
+
+def ablation_variants() -> dict[str, Variant]:
+    """``opt`` with each optimization removed in turn.
+
+    The paper reports sections 3.3-3.5 qualitatively; these variants let
+    the stage model quantify each choice (the ablation bench).
+    """
+    from dataclasses import replace
+
+    opt = VARIANTS["opt"]
+    return {
+        "opt": opt,
+        "opt-openmp": replace(opt, name="opt-openmp", threadpool_compute=False),
+        "opt-single-comm-thread": replace(
+            opt, name="opt-single-comm-thread", comm_threads=1
+        ),
+        "opt-no-combine": replace(opt, name="opt-no-combine", message_combine=False),
+        "opt-no-prereg": replace(
+            opt, name="opt-no-prereg", rdma_preregistered=False
+        ),
+        "opt-no-borderbins": replace(
+            opt, name="opt-no-borderbins", border_bins=False
+        ),
+    }

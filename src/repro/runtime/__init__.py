@@ -1,0 +1,46 @@
+"""Parallel-runtime substrate: in-process simulated ranks.
+
+Real Fugaku runs 4 MPI ranks per node across tens of thousands of nodes.
+Here an entire job runs inside one Python process: each rank is an object
+holding its own sub-domain, and a :class:`~repro.runtime.world.World`
+drives all ranks through the same program phases in lockstep (SPMD by
+phase).  Messages move through :class:`~repro.runtime.transport.Transport`
+mailboxes, which also record counts/bytes/hops so functional runs can be
+cross-checked against the analytic model and priced by the network
+simulator.
+
+* :mod:`repro.runtime.world` — the rank container and phase driver.
+* :mod:`repro.runtime.transport` — mailbox message passing + traffic log.
+* :mod:`repro.runtime.collectives` — allreduce/barrier, functional +
+  log-tree cost model (the EAM neighbor-check allreduce of section 4.2).
+* :mod:`repro.runtime.threadpool` — the paper's spin-lock thread pool:
+  fork/join overhead model and deterministic load splitting.
+* :mod:`repro.runtime.openmp` — the OpenMP fork-join model it replaces.
+"""
+
+from repro.runtime.transport import Transport, TrafficLog, SentMessage
+from repro.runtime.world import World, RankContext
+from repro.runtime.collectives import (
+    allreduce,
+    allreduce_cost,
+    barrier_cost,
+    broadcast_cost,
+)
+from repro.runtime.threadpool import ThreadPoolModel, split_load, WorkItem
+from repro.runtime.openmp import OpenMPModel
+
+__all__ = [
+    "Transport",
+    "TrafficLog",
+    "SentMessage",
+    "World",
+    "RankContext",
+    "allreduce",
+    "allreduce_cost",
+    "barrier_cost",
+    "broadcast_cost",
+    "ThreadPoolModel",
+    "OpenMPModel",
+    "split_load",
+    "WorkItem",
+]

@@ -1,0 +1,155 @@
+"""Mailbox transport between in-process ranks, with traffic accounting.
+
+Functionally this is the MPI/uTofu data plane: rank A deposits a payload
+addressed ``(dst, tag)``; rank B collects it with ``recv(src, tag)``.
+Because the :class:`~repro.runtime.world.World` drives all ranks through
+each program phase in lockstep, every send of a phase completes before any
+receive of that phase — the same guarantee a correct two-sided exchange
+or a fenced one-sided epoch provides.
+
+Every send is also recorded in a :class:`TrafficLog`.  The log is how the
+repository keeps itself honest: tests compare the *measured* message
+counts and byte volumes of a functional ghost exchange against the
+paper's Table 1 formulas, and the performance model prices logged traffic
+with the network simulator instead of guessing.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+
+class TransportError(RuntimeError):
+    """Raised on protocol misuse (missing message, bad addressing)."""
+
+
+@dataclass(frozen=True)
+class SentMessage:
+    """Record of one logical message for accounting."""
+
+    src: int
+    dst: int
+    tag: Hashable
+    nbytes: int
+    phase: str = ""
+
+
+@dataclass
+class TrafficLog:
+    """Aggregated traffic statistics, queryable per phase and per pair."""
+
+    messages: list[SentMessage] = field(default_factory=list)
+
+    def record(self, msg: SentMessage) -> None:
+        """Append one message record."""
+        self.messages.append(msg)
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self.messages.clear()
+
+    # -- queries -----------------------------------------------------------
+    def count(self, phase: str | None = None) -> int:
+        """Message count, optionally filtered by phase."""
+        return sum(1 for m in self.messages if phase is None or m.phase == phase)
+
+    def total_bytes(self, phase: str | None = None) -> int:
+        """Byte volume, optionally filtered by phase."""
+        return sum(m.nbytes for m in self.messages if phase is None or m.phase == phase)
+
+    def count_by_rank(self, phase: str | None = None) -> dict[int, int]:
+        """Send counts keyed by source rank."""
+        out: dict[int, int] = defaultdict(int)
+        for m in self.messages:
+            if phase is None or m.phase == phase:
+                out[m.src] += 1
+        return dict(out)
+
+    def pairs(self, phase: str | None = None) -> set[tuple[int, int]]:
+        """Distinct (src, dst) pairs that communicated."""
+        return {
+            (m.src, m.dst)
+            for m in self.messages
+            if phase is None or m.phase == phase
+        }
+
+
+def _payload_nbytes(payload: Any) -> int:
+    """Best-effort byte size of a payload (ndarray-aware)."""
+    nbytes = getattr(payload, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    if isinstance(payload, (int, float)):
+        return 8
+    if isinstance(payload, (tuple, list)):
+        return sum(_payload_nbytes(p) for p in payload)
+    return 0
+
+
+class Transport:
+    """Point-to-point mailboxes for ``size`` ranks."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError(f"world size must be >= 1, got {size}")
+        self.size = size
+        self._boxes: dict[tuple[int, int, Hashable], deque[Any]] = defaultdict(deque)
+        self.log = TrafficLog()
+        self.phase = ""
+
+    def set_phase(self, phase: str) -> None:
+        """Label subsequent traffic (border/forward/reverse/...)."""
+        self.phase = phase
+
+    def _check_rank(self, rank: int, what: str) -> None:
+        if not 0 <= rank < self.size:
+            raise TransportError(f"{what} rank {rank} out of range [0, {self.size})")
+
+    def send(self, src: int, dst: int, tag: Hashable, payload: Any) -> None:
+        """Deposit ``payload`` for ``dst``; completes immediately.
+
+        Self-sends are allowed (a rank that is its own periodic neighbor
+        on a 1-wide decomposition still runs the exchange protocol).
+        """
+        self._check_rank(src, "source")
+        self._check_rank(dst, "destination")
+        self._boxes[(src, dst, tag)].append(payload)
+        self.log.record(
+            SentMessage(src, dst, tag, _payload_nbytes(payload), self.phase)
+        )
+
+    def recv(self, dst: int, src: int, tag: Hashable) -> Any:
+        """Collect the oldest matching message; raises if none is waiting."""
+        self._check_rank(dst, "destination")
+        self._check_rank(src, "source")
+        box = self._boxes.get((src, dst, tag))
+        if not box:
+            raise TransportError(
+                f"rank {dst} has no message from {src} with tag {tag!r} "
+                f"(phase {self.phase!r})"
+            )
+        return box.popleft()
+
+    def try_recv(self, dst: int, src: int, tag: Hashable) -> Any | None:
+        """Like :meth:`recv` but returns ``None`` when nothing is waiting."""
+        box = self._boxes.get((src, dst, tag))
+        if not box:
+            return None
+        return box.popleft()
+
+    def pending_count(self) -> int:
+        """Messages deposited but not yet received."""
+        return sum(len(b) for b in self._boxes.values())
+
+    def assert_drained(self) -> None:
+        """Protocol check: no message may be left behind after a step."""
+        pending = self.pending_count()
+        if pending:
+            stuck = [k for k, b in self._boxes.items() if b]
+            raise TransportError(
+                f"{pending} undelivered message(s) left in transport: {stuck[:8]}"
+            )

@@ -1,0 +1,117 @@
+"""Distributed 3D scalar fields with halo storage.
+
+A global ``(NX, NY, NZ)`` periodic grid is block-decomposed over the
+rank grid; each rank stores its block plus a halo of ``width`` cells on
+every side: local array shape ``(nx + 2w, ny + 2w, nz + 2w)`` with the
+interior at ``[w:-w, w:-w, w:-w]``.  This mirrors the MD engine's
+local+ghost layout — the halo is the ghost region of a mesh problem.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.world import World
+
+
+class DistributedField:
+    """One scalar field distributed over a rank world."""
+
+    def __init__(
+        self,
+        world: World,
+        global_shape: tuple[int, int, int],
+        halo_width: int = 1,
+    ) -> None:
+        if world.grid is None:
+            raise ValueError("distributed fields require a world with a rank grid")
+        if halo_width < 1:
+            raise ValueError(f"halo width must be >= 1, got {halo_width}")
+        for n, p in zip(global_shape, world.grid):
+            if n % p:
+                raise ValueError(
+                    f"global shape {global_shape} not divisible by grid {world.grid}"
+                )
+        self.world = world
+        self.global_shape = tuple(global_shape)
+        self.halo = halo_width
+        self.block_shape = tuple(n // p for n, p in zip(global_shape, world.grid))
+        if min(self.block_shape) < halo_width:
+            raise ValueError(
+                f"block {self.block_shape} thinner than halo width {halo_width}"
+            )
+        w = halo_width
+        self.blocks: dict[int, np.ndarray] = {
+            r: np.zeros(tuple(b + 2 * w for b in self.block_shape))
+            for r in range(world.size)
+        }
+
+    # -- views ----------------------------------------------------------------
+    def interior(self, rank: int) -> np.ndarray:
+        """Writable view of a rank's owned cells."""
+        w = self.halo
+        return self.blocks[rank][w:-w, w:-w, w:-w]
+
+    def full(self, rank: int) -> np.ndarray:
+        """The whole local array including halos."""
+        return self.blocks[rank]
+
+    # -- global <-> local ------------------------------------------------------
+    def scatter_global(self, data: np.ndarray) -> None:
+        """Distribute a full global array into the rank blocks."""
+        if data.shape != self.global_shape:
+            raise ValueError(f"expected {self.global_shape}, got {data.shape}")
+        bx, by, bz = self.block_shape
+        for rank in range(self.world.size):
+            ix, iy, iz = self.world.grid_pos_of(rank)
+            self.interior(rank)[:] = data[
+                ix * bx : (ix + 1) * bx,
+                iy * by : (iy + 1) * by,
+                iz * bz : (iz + 1) * bz,
+            ]
+
+    def gather_global(self) -> np.ndarray:
+        """Assemble the global array from the rank interiors."""
+        out = np.zeros(self.global_shape)
+        bx, by, bz = self.block_shape
+        for rank in range(self.world.size):
+            ix, iy, iz = self.world.grid_pos_of(rank)
+            out[
+                ix * bx : (ix + 1) * bx,
+                iy * by : (iy + 1) * by,
+                iz * bz : (iz + 1) * bz,
+            ] = self.interior(rank)
+        return out
+
+    # -- halo slab addressing ---------------------------------------------------
+    def send_slab(self, rank: int, offset: tuple[int, int, int]) -> np.ndarray:
+        """Interior cells the neighbor at ``offset`` needs as halo."""
+        w = self.halo
+        idx = []
+        for k, o in enumerate(offset):
+            n = self.block_shape[k]
+            if o > 0:
+                idx.append(slice(w + n - w, w + n))  # high interior strip
+            elif o < 0:
+                idx.append(slice(w, 2 * w))  # low interior strip
+            else:
+                idx.append(slice(w, w + n))
+        return self.blocks[rank][tuple(idx)]
+
+    def recv_slab(self, rank: int, offset: tuple[int, int, int]) -> np.ndarray:
+        """The halo region filled by the neighbor at ``offset``."""
+        w = self.halo
+        idx = []
+        for k, o in enumerate(offset):
+            n = self.block_shape[k]
+            if o > 0:
+                idx.append(slice(w + n, w + n + w))  # high halo
+            elif o < 0:
+                idx.append(slice(0, w))  # low halo
+            else:
+                idx.append(slice(w, w + n))
+        return self.blocks[rank][tuple(idx)]
+
+    def total_interior_sum(self) -> float:
+        """Sum of all owned cells (conservation checks)."""
+        return float(sum(self.interior(r).sum() for r in range(self.world.size)))

@@ -1,0 +1,153 @@
+"""Halo exchanges: the paper's two patterns, applied to mesh blocks.
+
+Same structure as the MD ghost exchanges in :mod:`repro.core`:
+
+* **3-stage** — two swaps per dimension in x, y, z order.  A dimension's
+  swap sends slabs that span the *full extent* (halos included) of the
+  dimensions already exchanged, so edge and corner halos arrive by
+  forwarding — 6 messages build the full 26-neighbor halo.
+* **p2p** — 26 direct messages per rank (faces, edges, corners).  A
+  stencil needs values from *all* neighbors (there is no Newton's-law
+  saving for a read-only halo), so this corresponds to the paper's
+  full-shell p2p mode (Fig. 15's 26-message scenario).
+
+Both fill identical halos; tests assert bit equality.  Message counts
+and bytes are observable through the world transport's traffic log, and
+:meth:`HaloExchange.message_schedule` exports (nbytes, hops) pairs for
+the network simulator — the same cross-layer pricing the MD side uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.patterns import offset_hops, shell_offsets
+from repro.stencil.grid import DistributedField
+
+
+class HaloExchange:
+    """Base: fills every rank's halo from its neighbors' interiors."""
+
+    name = "abstract"
+
+    def __init__(self, field: DistributedField) -> None:
+        self.field = field
+        self.world = field.world
+
+    def exchange(self) -> None:
+        """Fill every rank's halos from neighbor interiors."""
+        raise NotImplementedError
+
+    def message_schedule(self, rank: int = 0) -> list[tuple[int, int]]:
+        """(nbytes, hops) per message of one exchange for ``rank``."""
+        raise NotImplementedError
+
+    def messages_per_exchange(self) -> int:
+        """Messages one rank sends per exchange."""
+        return len(self.message_schedule())
+
+
+class P2PHalo(HaloExchange):
+    """26 direct neighbor messages (full shell — stencils read all)."""
+
+    name = "p2p"
+
+    def __init__(self, field: DistributedField, radius: int = 1) -> None:
+        super().__init__(field)
+        if radius != 1:
+            raise ValueError("halo exchange currently supports radius 1")
+        self.offsets = shell_offsets(1)
+
+    def exchange(self) -> None:
+        """26 direct sends + receives, one per shell neighbor."""
+        world = self.world
+        transport = world.transport
+        transport.set_phase("halo-p2p")
+        field = self.field
+        for rank in range(world.size):
+            for o_send in self.offsets:
+                peer = world.neighbor_rank(rank, o_send)
+                o_recv = tuple(-o for o in o_send)
+                payload = np.array(field.send_slab(rank, o_send), copy=True)
+                transport.send(rank, peer, ("halo", o_recv), payload)
+        for rank in range(world.size):
+            for o_recv in self.offsets:
+                src = world.neighbor_rank(rank, o_recv)
+                payload = transport.recv(rank, src, ("halo", o_recv))
+                field.recv_slab(rank, o_recv)[:] = payload
+
+    def message_schedule(self, rank: int = 0) -> list[tuple[int, int]]:
+        """(nbytes, hops) per direct message."""
+        field = self.field
+        return [
+            (field.send_slab(rank, o).size * 8, offset_hops(o)) for o in self.offsets
+        ]
+
+
+class ThreeStageHalo(HaloExchange):
+    """Six staged swaps with corner forwarding (baseline pattern)."""
+
+    name = "3stage"
+
+    def _slab(self, rank: int, dim: int, direction: int, role: str):
+        """Send/recv slab for one swap; done dims span halos."""
+        field = self.field
+        w = field.halo
+        idx = []
+        for axis in range(3):
+            n = field.block_shape[axis]
+            if axis == dim:
+                if role == "send":
+                    if direction > 0:
+                        idx.append(slice(w + n - w, w + n))
+                    else:
+                        idx.append(slice(w, 2 * w))
+                else:
+                    if direction > 0:
+                        idx.append(slice(w + n, w + n + w))
+                    else:
+                        idx.append(slice(0, w))
+            elif axis < dim:
+                idx.append(slice(0, n + 2 * w))  # full extent incl. halos
+            else:
+                idx.append(slice(w, w + n))  # interior only
+        return field.blocks[rank][tuple(idx)]
+
+    def exchange(self) -> None:
+        """Six staged swaps; later dims forward earlier halos."""
+        world = self.world
+        transport = world.transport
+        transport.set_phase("halo-3stage")
+        for dim in range(3):
+            for direction in (+1, -1):
+                tag = ("halo3s", dim, direction)
+                for rank in range(world.size):
+                    o_send = tuple(direction if d == dim else 0 for d in range(3))
+                    peer = world.neighbor_rank(rank, o_send)
+                    payload = np.array(
+                        self._slab(rank, dim, direction, "send"), copy=True
+                    )
+                    transport.send(rank, peer, tag, payload)
+                for rank in range(world.size):
+                    o_send = tuple(direction if d == dim else 0 for d in range(3))
+                    src = world.neighbor_rank(rank, tuple(-o for o in o_send))
+                    payload = transport.recv(rank, src, tag)
+                    # Received from -direction side: fill that halo.
+                    self._slab(rank, dim, -direction, "recv")[:] = payload
+
+    def message_schedule(self, rank: int = 0) -> list[tuple[int, int]]:
+        """(nbytes, hops) per staged message."""
+        out = []
+        for dim in range(3):
+            for direction in (+1, -1):
+                out.append((self._slab(rank, dim, direction, "send").size * 8, 1))
+        return out
+
+
+def make_halo(field: DistributedField, pattern: str) -> HaloExchange:
+    """Factory: ``"3stage"`` or ``"p2p"``."""
+    if pattern == "3stage":
+        return ThreeStageHalo(field)
+    if pattern == "p2p":
+        return P2PHalo(field)
+    raise ValueError(f"unknown halo pattern {pattern!r}")

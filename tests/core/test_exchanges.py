@@ -1,0 +1,346 @@
+"""Ghost-exchange implementations: structure, traffic accounting, and the
+central equivalence guarantees (every pattern produces the same physics)."""
+
+import numpy as np
+import pytest
+
+from repro import LennardJones, SerialReference, quick_lj_simulation
+from repro.core import FineGrainedP2PExchange, P2PExchange, ThreeStageExchange
+from repro.md import Box, Domain
+from repro.md.atoms import Atoms
+from repro.md.lattice import fcc_lattice, lj_density_to_cell, maxwell_velocities
+from repro.runtime import World
+
+
+def build_world(grid, natoms=200, seed=0, box_edge=12.0):
+    """A world with random atoms scattered by ownership."""
+    world = World(int(np.prod(grid)), grid=grid)
+    box = Box((0, 0, 0), (box_edge,) * 3)
+    domain = Domain(box, grid)
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, box_edge, size=(natoms, 3))
+    v = rng.normal(size=(natoms, 3))
+    tags = np.arange(natoms, dtype=np.int64)
+    groups = domain.scatter(x)
+    for rank in range(world.size):
+        pos = world.grid_pos_of(rank)
+        idx = groups.get(pos, np.empty(0, dtype=np.intp))
+        atoms = Atoms()
+        atoms.set_local(x[idx], v[idx], tags[idx])
+        world.ranks[rank].state["atoms"] = atoms
+    return world, domain, x, tags
+
+
+class TestP2PStructure:
+    def test_thirteen_messages_per_rank(self):
+        world, domain, _, _ = build_world((2, 2, 2))
+        ex = P2PExchange(world, domain, rcomm=2.0)
+        ex.borders()
+        assert all(n == 13 for n in ex.messages_per_rank().values())
+
+    def test_full_shell_26_messages(self):
+        world, domain, _, _ = build_world((2, 2, 2))
+        ex = P2PExchange(world, domain, rcomm=2.0, newton=False)
+        ex.borders()
+        assert all(n == 26 for n in ex.messages_per_rank().values())
+
+    def test_ghosts_within_rcomm_of_subbox(self):
+        """Every received ghost genuinely lies in the ghost shell."""
+        world, domain, _, _ = build_world((3, 2, 2), natoms=600)
+        ex = P2PExchange(world, domain, rcomm=1.5)
+        ex.borders()
+        for rank in range(world.size):
+            atoms = ex.atoms_of(rank)
+            sub = ex.sub_box_of(rank)
+            gx = atoms.x[atoms.nlocal :]
+            lo = np.asarray(sub.lo) - 1.5
+            hi = np.asarray(sub.hi) + 1.5
+            assert np.all((gx >= lo - 1e-9) & (gx < hi + 1e-9))
+
+    def test_half_shell_ghosts_complete(self):
+        """Every (local atom, remote atom) pair within rcomm appears on
+        exactly one rank as (local, ghost)."""
+        world, domain, x, tags = build_world((2, 2, 2), natoms=300)
+        ex = P2PExchange(world, domain, rcomm=2.0)
+        ex.borders()
+        box = domain.box
+        # All physical pairs within rcomm under minimum image:
+        iu, ju = np.triu_indices(x.shape[0], k=1)
+        d = box.minimum_image(x[iu] - x[ju])
+        close = np.einsum("ij,ij->i", d, d) < 2.0**2
+        want = {(int(a), int(b)) for a, b in zip(iu[close], ju[close])}
+        # Pairs visible on some rank as local-local or local-ghost:
+        got = set()
+        for rank in range(world.size):
+            atoms = ex.atoms_of(rank)
+            xx = atoms.x
+            n = atoms.ntotal
+            for i in range(atoms.nlocal):
+                dd = xx[i] - xx
+                r2 = np.einsum("ij,ij->i", dd, dd)
+                for j in np.flatnonzero(r2 < 4.0):
+                    if j == i:
+                        continue
+                    if j < atoms.nlocal and j < i:
+                        continue  # counted from the other end
+                    if j >= atoms.nlocal or j > i:
+                        got.add(tuple(sorted((int(atoms.tag[i]), int(atoms.tag[j])))))
+        assert want <= got
+
+    def test_traffic_volume_matches_table1_half(self):
+        """Measured border traffic equals the analytic half-shell volume
+        within statistical fluctuation."""
+        world, domain, x, _ = build_world((2, 2, 2), natoms=4000)
+        ex = P2PExchange(world, domain, rcomm=1.2, use_border_bins=True)
+        ex.borders()
+        from repro.core import half_shell_volume
+
+        density = x.shape[0] / domain.box.volume
+        a = float(domain.sub_lengths[0])
+        expected_atoms = half_shell_volume(a, 1.2) * density * world.size
+        total_ghosts = sum(ex.ghost_counts().values())
+        assert total_ghosts == pytest.approx(expected_atoms, rel=0.12)
+
+    def test_border_bins_and_bruteforce_identical(self):
+        w1, d1, _, _ = build_world((2, 2, 2), natoms=500, seed=3)
+        w2, d2, _, _ = build_world((2, 2, 2), natoms=500, seed=3)
+        e1 = P2PExchange(w1, d1, rcomm=2.0, use_border_bins=True)
+        e2 = P2PExchange(w2, d2, rcomm=2.0, use_border_bins=False)
+        e1.borders()
+        e2.borders()
+        for rank in range(8):
+            a1, a2 = e1.atoms_of(rank), e2.atoms_of(rank)
+            assert a1.nghost == a2.nghost
+            assert np.allclose(np.sort(a1.x[a1.nlocal :], axis=0),
+                               np.sort(a2.x[a2.nlocal :], axis=0))
+
+
+class TestThreeStageStructure:
+    def test_six_swaps_per_rank(self):
+        world, domain, _, _ = build_world((2, 2, 2))
+        ex = ThreeStageExchange(world, domain, rcomm=2.0)
+        ex.borders()
+        assert all(n == 6 for n in ex.messages_per_rank().values())
+
+    def test_full_shell_ghost_count_double_of_p2p(self):
+        w1, d1, _, _ = build_world((2, 2, 2), natoms=3000, seed=4)
+        w2, d2, _, _ = build_world((2, 2, 2), natoms=3000, seed=4)
+        e3 = ThreeStageExchange(w1, d1, rcomm=1.2)
+        ep = P2PExchange(w2, d2, rcomm=1.2)
+        e3.borders()
+        ep.borders()
+        g3 = sum(e3.ghost_counts().values())
+        gp = sum(ep.ghost_counts().values())
+        assert g3 == pytest.approx(2 * gp, rel=0.03)
+
+    def test_corner_ghosts_arrive_via_forwarding(self):
+        """An atom in a corner region must reach the diagonal neighbor
+        even though the 3-stage never sends diagonally."""
+        world, domain, _, _ = build_world((2, 2, 2), natoms=0, box_edge=8.0)
+        corner_pos = np.array([[3.9, 3.9, 3.9]])  # corner of rank 0's box
+        a0 = world.ranks[0].state["atoms"]
+        a0.set_local(corner_pos, np.zeros((1, 3)), np.array([777]))
+        ex = ThreeStageExchange(world, domain, rcomm=1.0)
+        ex.borders()
+        # Rank 7 owns [4,8)^3 and must see tag 777 as a ghost.
+        a7 = ex.atoms_of(7)
+        assert 777 in a7.tag[a7.nlocal :]
+
+
+class TestForwardReverse:
+    @pytest.mark.parametrize("make", [
+        lambda w, d: ThreeStageExchange(w, d, rcomm=2.0),
+        lambda w, d: P2PExchange(w, d, rcomm=2.0),
+        lambda w, d: P2PExchange(w, d, rcomm=2.0, rdma=True),
+        lambda w, d: FineGrainedP2PExchange(w, d, rcomm=2.0),
+    ])
+    def test_forward_updates_ghost_positions(self, make):
+        world, domain, _, _ = build_world((2, 2, 2), natoms=400, seed=5)
+        ex = make(world, domain)
+        ex.borders()
+        ghost_before = {
+            r: ex.atoms_of(r).x[ex.atoms_of(r).nlocal :].copy() for r in range(8)
+        }
+        # Move every local atom a tiny bit, then forward.
+        for r in range(8):
+            ex.atoms_of(r).x_local()[:] += 0.01
+        ex.forward()
+        for r in range(8):
+            atoms = ex.atoms_of(r)
+            after = atoms.x[atoms.nlocal :]
+            assert np.allclose(after, ghost_before[r] + 0.01)
+
+    @pytest.mark.parametrize("make", [
+        lambda w, d: ThreeStageExchange(w, d, rcomm=2.0),
+        lambda w, d: P2PExchange(w, d, rcomm=2.0),
+        lambda w, d: P2PExchange(w, d, rcomm=2.0, rdma=True),
+    ])
+    def test_reverse_conserves_total_force(self, make):
+        """Reverse moves ghost force to owners without creating any."""
+        world, domain, _, _ = build_world((2, 2, 2), natoms=400, seed=6)
+        ex = make(world, domain)
+        ex.borders()
+        rng = np.random.default_rng(0)
+        total = np.zeros(3)
+        for r in range(8):
+            atoms = ex.atoms_of(r)
+            atoms._f[: atoms.ntotal] = rng.normal(size=(atoms.ntotal, 3))
+            total += atoms.f.sum(axis=0)
+        ex.reverse()
+        after = np.zeros(3)
+        for r in range(8):
+            after += ex.atoms_of(r).f_local().sum(axis=0)
+        # Ghost rows may retain stale values; only local rows count after
+        # a reverse.  Total force over owners == previous total over all.
+        assert np.allclose(after, total, atol=1e-9)
+
+    def test_rdma_and_message_planes_identical(self):
+        w1, d1, _, _ = build_world((2, 2, 2), natoms=400, seed=7)
+        w2, d2, _, _ = build_world((2, 2, 2), natoms=400, seed=7)
+        msg = P2PExchange(w1, d1, rcomm=2.0, rdma=False)
+        rdma = P2PExchange(w2, d2, rcomm=2.0, rdma=True)
+        msg.borders()
+        rdma.borders()
+        for r in range(8):
+            ex_pair = (msg.atoms_of(r), rdma.atoms_of(r))
+            assert np.allclose(ex_pair[0].x, ex_pair[1].x)
+        for r in range(8):
+            msg.atoms_of(r).x_local()[:] += 0.05
+            rdma.atoms_of(r).x_local()[:] += 0.05
+        msg.forward()
+        rdma.forward()
+        for r in range(8):
+            assert np.allclose(msg.atoms_of(r).x, rdma.atoms_of(r).x)
+
+    def test_rdma_no_reregistration_during_run(self):
+        """Pre-sizing keeps registration one-time across reborders."""
+        world, domain, _, _ = build_world((2, 2, 2), natoms=400, seed=8)
+        ex = P2PExchange(world, domain, rcomm=2.0, rdma=True)
+        for _ in range(4):
+            ex.exchange()
+            ex.borders()
+            ex.forward()
+            ex.reverse()
+        assert ex.reregistrations == 0
+
+
+class TestExchangeMigration:
+    @pytest.mark.parametrize("make", [
+        lambda w, d: ThreeStageExchange(w, d, rcomm=2.0),
+        lambda w, d: P2PExchange(w, d, rcomm=2.0),
+    ])
+    def test_atoms_conserved_and_owned(self, make):
+        world, domain, _, _ = build_world((2, 2, 2), natoms=500, seed=9)
+        ex = make(world, domain)
+        # Push some atoms across boundaries.
+        rng = np.random.default_rng(1)
+        for r in range(8):
+            atoms = ex.atoms_of(r)
+            atoms.x_local()[:] += rng.normal(0, 1.0, size=(atoms.nlocal, 3))
+        ex.exchange()
+        tags = []
+        for r in range(8):
+            atoms = ex.atoms_of(r)
+            sub = ex.sub_box_of(r)
+            assert sub.contains(atoms.x_local()).all()
+            tags.extend(atoms.tag[: atoms.nlocal].tolist())
+        assert sorted(tags) == list(range(500))
+        world.transport.assert_drained()
+
+    def test_velocities_travel_with_atoms(self):
+        world, domain, _, _ = build_world((2, 2, 2), natoms=100, seed=10)
+        before = {}
+        for r in range(8):
+            atoms = ex_atoms = world.ranks[r].state["atoms"]
+            for t, vv in zip(atoms.tag[: atoms.nlocal], atoms.v):
+                before[int(t)] = vv.copy()
+        ex = P2PExchange(world, domain, rcomm=2.0)
+        for r in range(8):
+            ex.atoms_of(r).x_local()[:] += 3.0
+        ex.exchange()
+        for r in range(8):
+            atoms = ex.atoms_of(r)
+            for t, vv in zip(atoms.tag[: atoms.nlocal], atoms.v):
+                assert np.allclose(vv, before[int(t)])
+
+
+class TestFineGrained:
+    def test_functionally_identical_to_p2p(self):
+        w1, d1, _, _ = build_world((2, 2, 2), natoms=300, seed=11)
+        w2, d2, _, _ = build_world((2, 2, 2), natoms=300, seed=11)
+        plain = P2PExchange(w1, d1, rcomm=2.0)
+        fine = FineGrainedP2PExchange(w2, d2, rcomm=2.0)
+        plain.borders()
+        fine.borders()
+        for r in range(8):
+            assert np.allclose(plain.atoms_of(r).x, fine.atoms_of(r).x)
+
+    def test_thread_assignment_covers_all_messages(self):
+        world, domain, _, _ = build_world((2, 2, 2), natoms=300, seed=12)
+        fine = FineGrainedP2PExchange(world, domain, rcomm=2.0)
+        fine.borders()
+        assignments = fine.assign_threads(0)
+        assert len(assignments) == 13
+        assert {a.neighbor_index for a in assignments} == set(range(13))
+        assert all(0 <= a.thread < 6 for a in assignments)
+        assert all(a.tni == a.thread for a in assignments)
+
+    def test_load_balance_quality(self):
+        """Fig. 10's goal: thread loads within ~2x of the mean even with
+        faces 10x heavier than corners."""
+        world, domain, _, _ = build_world((2, 2, 2), natoms=2000, seed=13)
+        fine = FineGrainedP2PExchange(world, domain, rcomm=2.0)
+        fine.borders()
+        assert fine.balance_quality(0) < 2.0
+
+    def test_comm_schedule_messages(self):
+        world, domain, _, _ = build_world((2, 2, 2), natoms=300, seed=14)
+        fine = FineGrainedP2PExchange(world, domain, rcomm=2.0)
+        fine.borders()
+        sched = fine.comm_schedule(0)
+        assert len(sched) == 13
+        assert all(m.known_length for m in sched)  # message combine
+
+    def test_invalid_thread_count(self):
+        world, domain, _, _ = build_world((2, 2, 2))
+        with pytest.raises(ValueError):
+            FineGrainedP2PExchange(world, domain, rcomm=2.0, n_comm_threads=7)
+
+
+class TestSmallGrids:
+    """Degenerate rank grids exercise self-sends and duplicate peers."""
+
+    @pytest.mark.parametrize("grid", [(1, 1, 1), (2, 1, 1), (1, 2, 2)])
+    def test_p2p_matches_serial_forces(self, grid):
+        edge = lj_density_to_cell(0.8442)
+        x, box = fcc_lattice((4, 4, 4), edge)
+        v = maxwell_velocities(x.shape[0], 1.44, seed=21)
+        ref = SerialReference(x, v, box, LennardJones(cutoff=2.5), dt=0.005)
+        sim = quick_lj_simulation(cells=(4, 4, 4), ranks=grid, pattern="p2p", seed=21)
+        sim.setup()
+        assert np.allclose(sim.gather_forces(), ref.f, atol=1e-10)
+
+    def test_p2p_radius2_long_cutoff(self):
+        """Sub-box thinner than the shell (Fig. 15's regime): the p2p
+        pattern reaches 2 ranks away and still matches the serial
+        reference."""
+        edge = lj_density_to_cell(0.8442)
+        x, box = fcc_lattice((4, 4, 4), edge)
+        v = maxwell_velocities(x.shape[0], 1.44, seed=23)
+        ref = SerialReference(x, v, box, LennardJones(cutoff=2.5), dt=0.005)
+        sim = quick_lj_simulation(
+            cells=(4, 4, 4), ranks=(4, 1, 1), pattern="p2p", seed=23, shell_radius=2
+        )
+        sim.setup()
+        assert np.allclose(sim.gather_forces(), ref.f, atol=1e-10)
+        assert sim.exchange.routes[0].sends.__len__() == 62  # half of 124
+
+    @pytest.mark.parametrize("grid", [(1, 1, 1), (2, 2, 1)])
+    def test_3stage_matches_serial_forces(self, grid):
+        edge = lj_density_to_cell(0.8442)
+        x, box = fcc_lattice((4, 4, 4), edge)
+        v = maxwell_velocities(x.shape[0], 1.44, seed=22)
+        ref = SerialReference(x, v, box, LennardJones(cutoff=2.5), dt=0.005)
+        sim = quick_lj_simulation(cells=(4, 4, 4), ranks=grid, pattern="3stage", seed=22)
+        sim.setup()
+        assert np.allclose(sim.gather_forces(), ref.f, atol=1e-10)

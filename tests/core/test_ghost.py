@@ -1,0 +1,119 @@
+"""Ghost-region geometry (Table 1) incl. Monte-Carlo cross-check."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GhostBudget,
+    corner_volume,
+    edge_volume,
+    face_volume,
+    full_shell_volume,
+    half_shell_volume,
+    offset_volume,
+    stage_volumes,
+)
+from repro.core.patterns import half_shell_offsets, shell_offsets
+
+
+class TestClosedForms:
+    def test_table1_totals(self):
+        a, r = 3.0, 1.0
+        assert full_shell_volume(a, r) == pytest.approx(
+            6 * a * a * r + 12 * a * r * r + 8 * r**3
+        )
+        assert half_shell_volume(a, r) == pytest.approx(
+            3 * a * a * r + 6 * a * r * r + 4 * r**3
+        )
+
+    def test_full_shell_is_slab_difference(self):
+        a, r = 4.2, 1.7
+        assert full_shell_volume(a, r) == pytest.approx((a + 2 * r) ** 3 - a**3)
+
+    def test_half_is_exactly_half(self):
+        a, r = 5.0, 2.2
+        assert half_shell_volume(a, r) == pytest.approx(full_shell_volume(a, r) / 2)
+
+    def test_stage_volumes_match_table1(self):
+        a, r = 3.0, 1.0
+        s1, s2, s3 = stage_volumes(a, r)
+        assert s1 == pytest.approx(a * a * r)
+        assert s2 == pytest.approx(a * a * r + 2 * a * r * r)
+        assert s3 == pytest.approx((a + 2 * r) ** 2 * r)
+
+    def test_stage_volumes_sum_to_full_shell(self):
+        """2 x (s1 + s2 + s3) must equal the full shell (6 messages)."""
+        a, r = 3.7, 1.3
+        assert 2 * sum(stage_volumes(a, r)) == pytest.approx(full_shell_volume(a, r))
+
+    def test_offset_volumes_sum_to_shells(self):
+        a, r = 3.0, 1.2
+        full = sum(offset_volume(a, r, o) for o in shell_offsets(1))
+        half = sum(offset_volume(a, r, o) for o in half_shell_offsets(1))
+        assert full == pytest.approx(full_shell_volume(a, r))
+        assert half == pytest.approx(half_shell_volume(a, r))
+
+    def test_offset_volume_classes(self):
+        a, r = 3.0, 1.0
+        assert offset_volume(a, r, (1, 0, 0)) == pytest.approx(face_volume(a, r))
+        assert offset_volume(a, r, (1, -1, 0)) == pytest.approx(edge_volume(a, r))
+        assert offset_volume(a, r, (1, 1, 1)) == pytest.approx(corner_volume(a, r))
+
+    def test_radius2_offsets_empty_for_short_cutoff(self):
+        assert offset_volume(3.0, 1.0, (2, 0, 0)) == 0.0
+
+    def test_radius2_offsets_for_long_cutoff(self):
+        # r = 4 > a = 3: depth into the second shell is 1.
+        assert offset_volume(3.0, 4.0, (2, 0, 0)) == pytest.approx(3 * 3 * 1.0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            face_volume(0.0, 1.0)
+        with pytest.raises(ValueError):
+            full_shell_volume(1.0, -1.0)
+
+
+class TestMonteCarlo:
+    def test_shell_volume_against_sampling(self):
+        """Voxel-count the shell around a unit sub-box and compare."""
+        a, r = 1.0, 0.3
+        rng = np.random.default_rng(11)
+        lo, hi = -r, a + r
+        pts = rng.uniform(lo, hi, size=(400_000, 3))
+        inside_slab = np.all((pts >= -r) & (pts < a + r), axis=1)
+        inside_box = np.all((pts >= 0) & (pts < a), axis=1)
+        frac = (inside_slab & ~inside_box).mean()
+        measured = frac * (a + 2 * r) ** 3
+        assert measured == pytest.approx(full_shell_volume(a, r), rel=0.02)
+
+
+class TestGhostBudget:
+    def test_max_ghosts_scales_with_density(self):
+        lo = GhostBudget(a=3.0, r=1.0, density=0.5)
+        hi = GhostBudget(a=3.0, r=1.0, density=1.0)
+        assert hi.max_ghost_atoms(True) > lo.max_ghost_atoms(True)
+
+    def test_full_shell_bigger_than_half(self):
+        b = GhostBudget(a=3.0, r=1.0, density=1.0)
+        assert b.max_ghost_atoms(True) > b.max_ghost_atoms(False)
+
+    def test_budget_covers_actual_lattice_ghosts(self):
+        """The pre-sizing guarantee: a real run's ghost count stays under
+        the theoretical maximum."""
+        from repro import quick_lj_simulation
+
+        sim = quick_lj_simulation(cells=(6, 6, 6), ranks=(2, 2, 2), pattern="p2p")
+        sim.setup()
+        a = float(sim.domain.sub_lengths.min())
+        density = sim.natoms / sim.box.volume
+        budget = GhostBudget(a=a, r=sim.exchange.rcomm, density=density)
+        for rank in range(8):
+            assert sim.atoms_of(rank).nghost <= budget.max_ghost_atoms(False)
+
+    def test_message_bound_is_stage3_slab(self):
+        b = GhostBudget(a=3.0, r=1.0, density=1.0, safety=1.0)
+        assert b.max_atoms_per_message() >= (3 + 2) ** 2 * 1.0
+
+    def test_local_bound(self):
+        b = GhostBudget(a=3.0, r=1.0, density=2.0, safety=1.0)
+        assert b.max_local_atoms() >= 54

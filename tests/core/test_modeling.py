@@ -1,0 +1,104 @@
+"""Modeled-machine-time bridge tests (repro.core.modeling)."""
+
+import pytest
+
+from repro import quick_lj_simulation
+from repro.core.modeling import (
+    modeled_exchange_time,
+    modeled_step_comm_time,
+    stack_for_exchange,
+)
+from repro.md import Stage
+from repro.network import MpiStack, UtofuStack
+
+
+def sim_for(pattern, **kw):
+    sim = quick_lj_simulation(cells=(5, 5, 5), ranks=(2, 2, 2), pattern=pattern, **kw)
+    sim.setup()
+    return sim
+
+
+class TestStackPairing:
+    def test_3stage_runs_on_mpi(self):
+        sim = sim_for("3stage")
+        assert isinstance(stack_for_exchange(sim.exchange), MpiStack)
+
+    def test_p2p_runs_on_utofu(self):
+        sim = sim_for("p2p")
+        assert isinstance(stack_for_exchange(sim.exchange), UtofuStack)
+
+
+class TestModeledTimes:
+    def test_p2p_forward_faster_than_3stage(self):
+        t3 = modeled_exchange_time(sim_for("3stage").exchange, "forward")
+        tp = modeled_exchange_time(sim_for("p2p").exchange, "forward")
+        assert tp < t3
+
+    def test_parallel_faster_than_serial_p2p(self):
+        tp = modeled_exchange_time(sim_for("p2p").exchange, "forward")
+        tf = modeled_exchange_time(sim_for("parallel-p2p").exchange, "forward")
+        assert tf < tp
+
+    def test_border_costlier_than_forward(self):
+        ex = sim_for("p2p").exchange
+        assert modeled_exchange_time(ex, "border") > modeled_exchange_time(
+            ex, "forward"
+        ) * 0.99
+
+    def test_unknown_phase_rejected(self):
+        ex = sim_for("p2p").exchange
+        with pytest.raises(ValueError):
+            modeled_exchange_time(ex, "teleport")
+
+    def test_step_time_rebuild_costs_more(self):
+        ex = sim_for("p2p").exchange
+        t_plain = modeled_step_comm_time(ex, rebuild=False)
+        t_rebuild = modeled_step_comm_time(ex, rebuild=True)
+        assert t_rebuild > t_plain
+
+    def test_newton_off_skips_reverse(self):
+        ex = sim_for("p2p").exchange
+        with_rev = modeled_step_comm_time(ex, rebuild=False, newton=True)
+        without = modeled_step_comm_time(ex, rebuild=False, newton=False)
+        assert without < with_rev
+
+
+class TestSimulationIntegration:
+    def test_model_timer_accumulates(self):
+        sim = quick_lj_simulation(
+            cells=(4, 4, 4), ranks=(2, 2, 2), pattern="p2p",
+            model_machine_time=True,
+        )
+        sim.run(5)
+        assert sim.timers.model[Stage.COMM] > 0
+
+    def test_disabled_by_default(self):
+        sim = quick_lj_simulation(cells=(4, 4, 4), ranks=(2, 2, 2))
+        sim.run(3)
+        assert sim.timers.total_model() == 0.0
+
+    def test_pattern_ordering_on_same_run(self):
+        totals = {}
+        for pattern in ("3stage", "p2p", "parallel-p2p"):
+            sim = quick_lj_simulation(
+                cells=(4, 4, 4), ranks=(2, 2, 2), pattern=pattern,
+                model_machine_time=True, seed=77,
+            )
+            sim.run(10)
+            totals[pattern] = sim.timers.model[Stage.COMM]
+        assert totals["parallel-p2p"] < totals["p2p"] < totals["3stage"]
+
+    def test_measured_sizes_agree_with_analytic_model(self):
+        """The functional route sizes must match the analytic Table 1
+        volumes that the perfmodel uses (cross-layer consistency)."""
+        from repro.core import analyze_p2p
+
+        sim = quick_lj_simulation(cells=(6, 6, 6), ranks=(2, 2, 2), pattern="p2p")
+        sim.setup()
+        a = float(sim.domain.sub_lengths[0])
+        density = sim.natoms / sim.box.volume
+        ana = analyze_p2p(a, sim.exchange.rcomm, density)
+        measured = sum(
+            r.count for r in sim.exchange.routes[0].sends
+        )
+        assert measured == pytest.approx(ana.total_atoms, rel=0.25)

@@ -1,0 +1,110 @@
+"""Pattern definitions: neighbor sets, hop counts, message counts."""
+
+import pytest
+
+from repro.core import (
+    CommPattern,
+    half_shell_offsets,
+    lex_positive,
+    message_count,
+    offset_hops,
+    p2p_neighbors,
+    shell_offsets,
+    three_stage_swaps,
+)
+
+
+class TestShellOffsets:
+    def test_radius1_counts(self):
+        assert len(shell_offsets(1)) == 26
+        assert len(half_shell_offsets(1)) == 13
+
+    def test_radius2_counts(self):
+        """Fig. 15's extended scenarios: 124 full / 62 half neighbors."""
+        assert len(shell_offsets(2)) == 124
+        assert len(half_shell_offsets(2)) == 62
+
+    def test_no_zero_offset(self):
+        assert (0, 0, 0) not in shell_offsets(2)
+
+    def test_half_shell_is_antisymmetric(self):
+        half = set(half_shell_offsets(1))
+        for o in half:
+            assert tuple(-v for v in o) not in half
+
+    def test_half_plus_mirror_is_full(self):
+        half = half_shell_offsets(2)
+        mirrored = [tuple(-v for v in o) for o in half]
+        assert sorted(half + mirrored) == sorted(shell_offsets(2))
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            shell_offsets(0)
+
+
+class TestLexRule:
+    def test_positive_examples(self):
+        assert lex_positive((0, 0, 1))
+        assert not lex_positive((0, 1, -1))  # (z, y, x) = (-1, 1, 0) < 0
+
+    def test_ordering_is_z_then_y_then_x(self):
+        assert lex_positive((1, 0, 0))  # (0,0,1) > 0 via x
+        assert lex_positive((0, 1, 0))
+        assert lex_positive((-1, 1, 0))  # y dominates x
+        assert not lex_positive((1, -1, 0))  # y negative dominates
+        assert not lex_positive((0, 0, -1))
+        assert lex_positive((1, 1, 1))
+
+
+class TestP2PNeighbors:
+    def test_table1_classes(self):
+        """Table 1's p2p block: 3 faces @1 hop, 6 edges @2, 4 corners @3."""
+        specs = p2p_neighbors(newton=True, radius=1)
+        by_kind = {}
+        for s in specs:
+            by_kind.setdefault((s.kind, s.hops), []).append(s)
+        assert len(by_kind[("face", 1)]) == 3
+        assert len(by_kind[("edge", 2)]) == 6
+        assert len(by_kind[("corner", 3)]) == 4
+
+    def test_full_shell_classes(self):
+        specs = p2p_neighbors(newton=False, radius=1)
+        assert len(specs) == 26
+        kinds = [s.kind for s in specs]
+        assert kinds.count("face") == 6
+        assert kinds.count("edge") == 12
+        assert kinds.count("corner") == 8
+
+    def test_hops_are_l1_norm(self):
+        assert offset_hops((1, 0, 0)) == 1
+        assert offset_hops((1, -1, 0)) == 2
+        assert offset_hops((-2, 1, 2)) == 5
+
+
+class TestThreeStageSwaps:
+    def test_six_swaps_radius1(self):
+        swaps = three_stage_swaps(1)
+        assert len(swaps) == 6
+        assert [s.dim for s in swaps] == [0, 0, 1, 1, 2, 2]
+
+    def test_linear_growth_with_radius(self):
+        """The Fig. 15 asymmetry: 3-stage messages grow linearly (6 -> 12)
+        while p2p grows ~quadratically (26 -> 124)."""
+        assert len(three_stage_swaps(2)) == 12
+        assert message_count(CommPattern.THREE_STAGE, radius=2) == 12
+        assert message_count(CommPattern.P2P, newton=False, radius=2) == 124
+
+    def test_directions_alternate(self):
+        swaps = three_stage_swaps(1)
+        assert [s.dir for s in swaps] == [1, -1, 1, -1, 1, -1]
+
+
+class TestMessageCounts:
+    def test_table1_message_counts(self):
+        assert message_count(CommPattern.THREE_STAGE) == 6
+        assert message_count(CommPattern.P2P, newton=True) == 13
+        assert message_count(CommPattern.P2P, newton=False) == 26
+
+    def test_fig15_scenarios(self):
+        assert message_count(CommPattern.P2P, newton=True, radius=2) == 62
+        assert message_count(CommPattern.P2P, newton=False, radius=2) == 124

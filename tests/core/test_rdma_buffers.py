@@ -1,0 +1,167 @@
+"""Pre-registered buffer machinery: rings, overwrite protection, one-time
+registration."""
+
+import numpy as np
+import pytest
+
+from repro.core import BufferOverwriteError, GhostBudget, RdmaEndpoint, RecvBufferRing
+from repro.machine import RdmaEngine
+
+
+@pytest.fixture
+def engine():
+    return RdmaEngine()
+
+
+def make_ring(engine, depth=4, cap=64):
+    return RecvBufferRing(engine, rank=0, capacity_elems=cap, depth=depth)
+
+
+class TestRecvBufferRing:
+    def test_round_robin_order(self, engine):
+        ring = make_ring(engine)
+        indices = []
+        for _ in range(4):
+            idx, _ = ring.acquire_for_write()
+            indices.append(idx)
+            ring.consume()
+        assert indices == [0, 1, 2, 3]
+
+    def test_wraps_after_depth(self, engine):
+        ring = make_ring(engine)
+        for _ in range(4):
+            ring.acquire_for_write()
+            ring.consume()
+        idx, _ = ring.acquire_for_write()
+        assert idx == 0
+
+    def test_overwrite_protection(self, engine):
+        """Depth-1 ring: a second write before consumption must fail —
+        the hazard the paper's 4 buffers exist to prevent."""
+        ring = make_ring(engine, depth=1)
+        ring.acquire_for_write()
+        with pytest.raises(BufferOverwriteError):
+            ring.acquire_for_write()
+
+    def test_depth4_supports_four_outstanding_stages(self, engine):
+        """Border, forward, reverse and the next border can all be in
+        flight without conflict (the paper's dependency analysis)."""
+        ring = make_ring(engine, depth=4)
+        for _ in range(4):
+            ring.acquire_for_write()
+        assert ring.outstanding() == 4
+        with pytest.raises(BufferOverwriteError):
+            ring.acquire_for_write()  # the 5th conflicts
+
+    def test_consume_in_write_order(self, engine):
+        ring = make_ring(engine)
+        _, r0 = ring.acquire_for_write()
+        _, r1 = ring.acquire_for_write()
+        r0.data[0] = 1.0
+        r1.data[0] = 2.0
+        assert ring.consume()[0] == 1.0
+        assert ring.consume()[0] == 2.0
+
+    def test_consume_clean_buffer_rejected(self, engine):
+        ring = make_ring(engine)
+        with pytest.raises(BufferOverwriteError):
+            ring.consume()
+
+    def test_buffers_registered(self, engine):
+        make_ring(engine, depth=4)
+        assert engine.cache_for(0).region_count() == 4
+
+    def test_stags_exposed(self, engine):
+        ring = make_ring(engine, depth=4)
+        assert len(set(ring.stags())) == 4
+
+    def test_invalid_args(self, engine):
+        with pytest.raises(ValueError):
+            make_ring(engine, depth=0)
+        with pytest.raises(ValueError):
+            make_ring(engine, cap=0)
+
+
+@pytest.fixture
+def endpoint_pair(engine):
+    budget = GhostBudget(a=4.0, r=1.5, density=1.0)
+    eps = {}
+    storage = {}
+    for rank in (0, 1):
+        x = np.zeros((200, 3))
+        f = np.zeros((200, 3))
+        storage[rank] = (x, f)
+        eps[rank] = RdmaEndpoint(
+            rank=rank,
+            engine=engine,
+            x_storage=x,
+            f_storage=f,
+            budget=budget,
+            n_neighbors=2,
+        )
+    return eps, storage, engine
+
+
+class TestRdmaEndpoint:
+    def test_put_positions_lands_in_remote_array(self, endpoint_pair):
+        eps, storage, _ = endpoint_pair
+        window = eps[1].window_for_neighbor(0, ghost_elem_offset=30)
+        eps[0].install_remote(0, window)
+        packed = np.arange(9.0).reshape(3, 3)
+        nbytes = eps[0].put_positions(0, packed)
+        assert nbytes == 72
+        x1 = storage[1][0]
+        assert np.array_equal(x1.reshape(-1)[30:39], np.arange(9.0))
+
+    def test_registration_happens_once(self, endpoint_pair):
+        eps, storage, engine = endpoint_pair
+        window = eps[1].window_for_neighbor(0, 0)
+        eps[0].install_remote(0, window)
+        before = engine.cache_for(0).registration_count
+        for _ in range(10):
+            eps[0].put_positions(0, np.ones((2, 3)))
+        # only the lazy send-buffer registration on first use
+        assert engine.cache_for(0).registration_count <= before + 1
+
+    def test_revalidate_noop_when_unchanged(self, endpoint_pair):
+        eps, storage, _ = endpoint_pair
+        x, f = storage[0]
+        assert eps[0].revalidate(x, f) is False
+
+    def test_revalidate_reregisters_on_growth(self, endpoint_pair):
+        """Array reallocation (the baseline behaviour) forces a costly
+        re-registration — exactly what pre-sizing avoids."""
+        eps, storage, engine = endpoint_pair
+        before = engine.cache_for(0).registration_count
+        new_x = np.zeros((400, 3))
+        new_f = np.zeros((400, 3))
+        assert eps[0].revalidate(new_x, new_f) is True
+        assert engine.cache_for(0).registration_count == before + 2
+
+    def test_oversized_send_rejected(self, endpoint_pair):
+        eps, _, _ = endpoint_pair
+        window = eps[1].window_for_neighbor(0, 0)
+        eps[0].install_remote(0, window)
+        too_big = np.zeros((100_000, 3))
+        with pytest.raises(BufferOverwriteError):
+            eps[0].put_positions(0, too_big)
+
+    def test_ring_put_roundtrip(self, endpoint_pair):
+        eps, _, _ = endpoint_pair
+        payload = np.arange(12.0).reshape(4, 3)
+        eps[0].put_into_ring(0, eps[1].recv_rings[0], payload)
+        from repro.core import split
+
+        data = eps[1].recv_rings[0].consume()
+        assert np.array_equal(split(data, trailing_shape=(3,)), payload)
+
+    def test_x_storage_shape_validated(self, engine):
+        with pytest.raises(ValueError):
+            RdmaEndpoint(
+                rank=0,
+                engine=engine,
+                x_storage=np.zeros(10),
+                f_storage=np.zeros((10, 3)),
+                budget=GhostBudget(a=1.0, r=0.5, density=1.0),
+                n_neighbors=1,
+            )

@@ -1,0 +1,172 @@
+"""Figure-module tests: structure, paper claims, rendering."""
+
+import pytest
+
+from repro.figures import (
+    ablations,
+    eqs,
+    fig6,
+    fig8,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    micro33,
+    table1,
+)
+
+
+class TestTable1:
+    def test_compute_and_claims(self):
+        res = table1.compute()
+        assert res.volume_ratio == pytest.approx(0.5)
+        assert res.three_stage.total_messages == 6
+        assert res.p2p.total_messages == 13
+
+    def test_render_mentions_paper(self):
+        text = table1.render(table1.compute())
+        assert "Table 1" in text
+        assert "0.5" in text
+
+
+class TestEqs:
+    def test_claims(self):
+        res = eqs.compute()
+        assert res.utofu_p2p_wins
+        assert res.mpi_naive_p2p_loses
+
+    def test_render(self):
+        text = eqs.render(eqs.compute())
+        assert "Eq3" in text and "Eq8" in text
+
+
+class TestFig6:
+    def test_orderings(self):
+        res = fig6.compute()
+        t = res.times["lj-65k"]
+        assert t["mpi_p2p"] > t["ref"]
+        assert t["opt"] < t["ref"]
+        assert 0.6 < res.reduction("lj-65k") < 0.95
+
+    def test_render(self):
+        assert "Fig. 6" in fig6.render(fig6.compute())
+
+
+class TestFig8:
+    def test_claims(self):
+        res = fig8.compute(per_rank=50)
+        assert res.parallel_gain(256) > 1.5
+        k = res.sizes.index(256)
+        assert res.rates["single-6tni"][k] < res.rates["single-4tni"][k]
+
+    def test_rates_decrease_with_size(self):
+        res = fig8.compute(per_rank=50)
+        for mode in res.rates:
+            r = res.rates[mode]
+            assert r[0] >= r[-1]
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def res(self):
+        return fig12.compute()
+
+    def test_speedup_bands(self, res):
+        assert 2.2 <= res.speedup("lj-65k", "opt") <= 4.2
+        assert res.speedup("eam-65k", "opt") > res.speedup("eam-1.7m", "opt")
+
+    def test_reductions(self, res):
+        assert 0.6 <= res.comm_reduction("lj-65k") <= 0.9
+        assert res.pair_reduction("lj-65k") > 0.3
+
+    def test_render(self, res):
+        text = fig12.render(res)
+        assert "Fig. 12" in text and "paper 3.01x" in text
+
+
+class TestFig13:
+    @pytest.fixture(scope="class")
+    def res(self):
+        return fig13.compute()
+
+    def test_headline(self, res):
+        assert 2.2 <= res.speedup_last("lj") <= 3.8
+        assert 1.7 <= res.speedup_last("eam") <= 3.2
+
+    def test_efficiency_monotone(self, res):
+        for key in res.curves:
+            eff = fig13.parallel_efficiency(res.curves[key])
+            assert all(a >= b for a, b in zip(eff, eff[1:]))
+
+    def test_render_contains_table3(self, res):
+        text = fig13.render(res)
+        assert "Table 3" in text
+        assert "Origin-LJ" in text and "Opt-EAM" in text
+
+
+class TestFig14:
+    def test_linearity(self):
+        res = fig14.compute()
+        assert res.linearity("lj") > 0.9
+        assert res.curves["lj"][-1].natoms > 9e10
+
+
+class TestFig15:
+    def test_winners(self):
+        wins = fig15.compute().wins()
+        assert wins == {26: True, 62: True, 124: False}
+
+    def test_times_positive_and_ordered(self):
+        res = fig15.compute()
+        for s in res.scenarios:
+            assert s.p2p_time > 0 and s.three_stage_time > 0
+        # p2p time grows with neighbor count
+        p2p = [s.p2p_time for s in res.scenarios]
+        assert p2p[0] < p2p[1] < p2p[2]
+
+
+class TestMicro33:
+    def test_constants(self):
+        res = micro33.compute()
+        assert res.openmp_fork_join == pytest.approx(5.8e-6)
+        assert res.pool_fork_join == pytest.approx(1.1e-6)
+        assert res.openmp_modify_slowdown > 8
+
+
+class TestAblations:
+    def test_compute(self):
+        res = ablations.compute(n_atoms=2000)
+        assert res.registrations_opt < res.registrations_baseline
+        assert 0 < res.combine_saving < 1
+        assert res.bins_test_reduction > 4
+
+    def test_perf_ablation_each_removal_costs(self):
+        results = ablations.perf_ablation()
+        for wname, times in results.items():
+            base = times["opt"]
+            for name, t in times.items():
+                assert t >= base * 0.999, f"{name} should not beat opt"
+            assert times["opt-openmp"] > base * 1.1  # threading is the big one
+
+
+class TestMainModule:
+    def test_run_selected(self):
+        from repro.figures.__main__ import run
+
+        text = run(["table1", "eqs"])
+        assert "table1" in text and "eqs" in text
+
+    def test_unknown_experiment(self):
+        from repro.figures.__main__ import main
+
+        assert main(["bogus"]) == 2
+
+
+class TestTopoMap:
+    def test_hop_reduction(self):
+        from repro.figures import topomap
+
+        res = topomap.compute(job_nodes=(4, 6, 4))
+        assert res.hop_reduction > 0.3
+        assert res.mapped.mean_hops < res.randomized.mean_hops
+        assert "topo map" in topomap.render(res)

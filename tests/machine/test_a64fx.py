@@ -1,0 +1,77 @@
+"""A64FX node-model tests: CMG layout and NUMA-clean rank placement."""
+
+import pytest
+
+from repro.machine import A64FX, FUGAKU
+
+
+@pytest.fixture
+def node():
+    return A64FX()
+
+
+class TestLayout:
+    def test_four_cmgs(self, node):
+        assert len(node.cmgs) == 4
+
+    def test_twelve_compute_cores_per_cmg(self, node):
+        for cmg in node.cmgs:
+            assert len(cmg.compute_cores) == 12
+            assert not any(c.assistant for c in cmg.compute_cores)
+
+    def test_assistant_core_flagged(self, node):
+        for cmg in node.cmgs:
+            assert cmg.assistant_core.assistant
+
+    def test_total_compute_cores(self, node):
+        assert node.compute_core_count == 48
+
+    def test_hbm_per_cmg(self, node):
+        assert node.cmgs[0].hbm_bandwidth == pytest.approx(256e9)
+        assert node.cmgs[0].hbm_capacity == pytest.approx(8 * 2**30)
+
+    def test_global_core_ids_unique(self, node):
+        ids = [c.global_id for cmg in node.cmgs for c in cmg.compute_cores]
+        ids += [cmg.assistant_core.global_id for cmg in node.cmgs]
+        assert len(set(ids)) == len(ids)
+
+
+class TestRankPlacement:
+    def test_four_ranks_are_numa_local(self, node):
+        # The paper's placement argument (section 3.2): 4 ranks = 1 CMG each.
+        assert node.numa_local(4)
+
+    def test_each_rank_gets_one_cmg_at_4_ranks(self, node):
+        for r in range(4):
+            cores = node.cores_for_rank(r, 4)
+            assert len(cores) == 12
+            assert {c.cmg for c in cores} == {r}
+
+    def test_two_ranks_also_numa_clean(self, node):
+        # 2 ranks x 24 cores = 2 CMGs each: spans CMGs, not NUMA-local.
+        assert not node.numa_local(2)
+
+    def test_three_ranks_cross_numa(self, node):
+        # 48/3 = 16 cores straddles CMG boundaries (the paper's warning).
+        assert not node.numa_local(3)
+
+    def test_uneven_rank_count_rejected(self, node):
+        with pytest.raises(ValueError):
+            node.cores_for_rank(0, 5)
+
+    def test_rank_out_of_range(self, node):
+        with pytest.raises(ValueError):
+            node.cores_for_rank(4, 4)
+
+    def test_ranks_partition_cores(self, node):
+        all_cores = set()
+        for r in range(4):
+            cores = {c.global_id for c in node.cores_for_rank(r, 4)}
+            assert not (all_cores & cores)
+            all_cores |= cores
+        assert len(all_cores) == 48
+
+    def test_hbm_split_across_ranks(self, node):
+        assert node.hbm_capacity_for_rank(4) == pytest.approx(
+            FUGAKU.hbm_capacity_per_cmg
+        )

@@ -1,0 +1,112 @@
+"""RDMA registration / put / get semantics."""
+
+import numpy as np
+import pytest
+
+from repro.machine import RdmaEngine
+from repro.machine.rdma import RdmaError
+
+
+@pytest.fixture
+def engine():
+    return RdmaEngine()
+
+
+class TestRegistration:
+    def test_register_returns_region_with_stag(self, engine):
+        data = np.zeros(16)
+        region = engine.cache_for(0).register(data)
+        assert region.stag > 0
+        assert region.length == 16
+
+    def test_stags_unique_across_ranks(self, engine):
+        r0 = engine.cache_for(0).register(np.zeros(4))
+        r1 = engine.cache_for(1).register(np.zeros(4))
+        assert r0.stag != r1.stag
+
+    def test_registration_cost_accumulates(self, engine):
+        cache = engine.cache_for(0)
+        cache.register(np.zeros(1024))
+        t1 = cache.total_registration_time
+        cache.register(np.zeros(1024 * 1024))
+        assert cache.total_registration_time > 2 * t1  # bigger buffer, more pages
+        assert cache.registration_count == 2
+
+    def test_deregister(self, engine):
+        cache = engine.cache_for(0)
+        region = cache.register(np.zeros(4))
+        cache.deregister(region)
+        with pytest.raises(RdmaError):
+            cache.lookup(region.stag)
+
+    def test_2d_rejected(self, engine):
+        with pytest.raises(RdmaError):
+            engine.cache_for(0).register(np.zeros((4, 4)))
+
+
+class TestPut:
+    def test_put_writes_remote_memory(self, engine):
+        src = engine.cache_for(0).register(np.arange(8.0))
+        dst_arr = np.zeros(8)
+        dst = engine.cache_for(1).register(dst_arr)
+        engine.put(src, 2, 1, dst.stag, 4, 3)
+        assert np.array_equal(dst_arr[4:7], [2.0, 3.0, 4.0])
+        assert dst_arr[:4].sum() == 0  # untouched
+
+    def test_put_is_zero_copy_into_target(self, engine):
+        """The defining property of section 3.4: the PUT lands in the
+        actual array, not a staging buffer."""
+        target = np.zeros(6)
+        dst = engine.cache_for(1).register(target)
+        src = engine.cache_for(0).register(np.ones(6))
+        engine.put(src, 0, 1, dst.stag, 0, 6)
+        assert target.sum() == 6.0  # the original array object changed
+
+    def test_put_bounds_checked_remote(self, engine):
+        src = engine.cache_for(0).register(np.zeros(8))
+        dst = engine.cache_for(1).register(np.zeros(4))
+        with pytest.raises(RdmaError):
+            engine.put(src, 0, 1, dst.stag, 2, 4)
+
+    def test_put_bounds_checked_local(self, engine):
+        src = engine.cache_for(0).register(np.zeros(2))
+        dst = engine.cache_for(1).register(np.zeros(8))
+        with pytest.raises(RdmaError):
+            engine.put(src, 0, 1, dst.stag, 0, 4)
+
+    def test_put_unknown_stag(self, engine):
+        src = engine.cache_for(0).register(np.zeros(2))
+        with pytest.raises(RdmaError):
+            engine.put(src, 0, 1, 999999, 0, 1)
+
+    def test_put_counters(self, engine):
+        src = engine.cache_for(0).register(np.zeros(8))
+        dst = engine.cache_for(1).register(np.zeros(8))
+        engine.put(src, 0, 1, dst.stag, 0, 8)
+        assert engine.put_count == 1
+        assert engine.bytes_put == 64
+
+
+class TestGet:
+    def test_get_reads_remote_memory(self, engine):
+        remote = engine.cache_for(1).register(np.arange(10.0))
+        local_arr = np.zeros(4)
+        local = engine.cache_for(0).register(local_arr)
+        engine.get(local, 0, 1, remote.stag, 6, 4)
+        assert np.array_equal(local_arr, [6.0, 7.0, 8.0, 9.0])
+        assert engine.get_count == 1
+
+    def test_get_bounds_checked(self, engine):
+        remote = engine.cache_for(1).register(np.zeros(4))
+        local = engine.cache_for(0).register(np.zeros(4))
+        with pytest.raises(RdmaError):
+            engine.get(local, 0, 1, remote.stag, 2, 4)
+
+
+class TestAggregates:
+    def test_total_registration_time(self, engine):
+        engine.cache_for(0).register(np.zeros(100))
+        engine.cache_for(1).register(np.zeros(100))
+        assert engine.total_registration_time() == pytest.approx(
+            2 * engine.cache_for(0).total_registration_time
+        )

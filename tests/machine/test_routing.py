@@ -1,0 +1,118 @@
+"""Dimension-order routing and the topo-map congestion advantage."""
+
+import random
+
+import pytest
+
+from repro.core import JobShape, TopoMap
+from repro.core.patterns import half_shell_offsets
+from repro.machine import TofuCoord, TofuTopology
+from repro.machine.routing import (
+    link_congestion,
+    neighbor_traffic_pairs,
+    route,
+)
+
+
+@pytest.fixture
+def topo():
+    return TofuTopology((2, 2, 2))
+
+
+class TestRoute:
+    def test_route_length_equals_hops(self, topo):
+        for i in range(0, topo.node_count, 5):
+            for j in range(0, topo.node_count, 7):
+                a, b = topo.coord_of(i), topo.coord_of(j)
+                assert len(route(topo, a, b)) == topo.hops(a, b)
+
+    def test_route_to_self_is_empty(self, topo):
+        c = topo.coord_of(3)
+        assert route(topo, c, c) == []
+
+    def test_route_links_are_connected(self, topo):
+        """Each link starts where the previous one ended."""
+        a, b = topo.coord_of(0), topo.coord_of(topo.node_count - 1)
+        links = route(topo, a, b)
+        current = a
+        for link in links:
+            assert link.node == current
+            vals = list(current.as_tuple())
+            vals[link.axis] = (vals[link.axis] + link.direction) % topo.full_shape[
+                link.axis
+            ]
+            current = TofuCoord(*vals)
+        assert current == b
+
+    def test_torus_takes_short_way(self):
+        topo = TofuTopology((4, 1, 1))
+        a = TofuCoord(0, 0, 0, 0, 0, 0)
+        b = TofuCoord(3, 0, 0, 0, 0, 0)
+        links = route(topo, a, b)
+        assert len(links) == 1
+        assert links[0].direction == -1  # wraps backwards
+
+    def test_out_of_topology_rejected(self, topo):
+        with pytest.raises(ValueError):
+            route(topo, TofuCoord(9, 0, 0, 0, 0, 0), topo.coord_of(0))
+
+
+class TestCongestion:
+    def test_empty_report(self, topo):
+        rep = link_congestion(topo, [])
+        assert rep.max_link_load == 0
+        assert rep.mean_hops == 0.0
+
+    def test_disjoint_routes_load_one(self, topo):
+        a, b = topo.coord_of(0), topo.coord_of(1)
+        c, d = topo.coord_of(10), topo.coord_of(11)
+        rep = link_congestion(topo, [(a, b), (c, d)])
+        assert rep.max_link_load == 1
+
+    def test_shared_route_counts(self, topo):
+        a, b = topo.coord_of(0), topo.coord_of(1)
+        rep = link_congestion(topo, [(a, b)] * 5)
+        assert rep.max_link_load == 5
+
+
+class TestTopoMapAdvantage:
+    """Section 3.5.3 quantified: the topology-preserving placement beats
+    a random placement on both hops and congestion."""
+
+    def _compare(self, job_nodes):
+        tm = TopoMap(JobShape(job_nodes))
+        offsets = half_shell_offsets(1)
+        topo_pairs = neighbor_traffic_pairs(tm, offsets)
+
+        rng = random.Random(7)
+        positions = [
+            (x, y, z)
+            for x in range(tm.rank_grid[0])
+            for y in range(tm.rank_grid[1])
+            for z in range(tm.rank_grid[2])
+        ]
+        shuffled = positions[:]
+        rng.shuffle(shuffled)
+        placement = dict(zip(positions, shuffled))
+        random_pairs = neighbor_traffic_pairs(tm, offsets, placement)
+
+        mapped = link_congestion(tm.topology, topo_pairs)
+        randomized = link_congestion(tm.topology, random_pairs)
+        return mapped, randomized
+
+    def test_topo_map_reduces_mean_hops(self):
+        mapped, randomized = self._compare((4, 6, 4))
+        assert mapped.mean_hops < 0.7 * randomized.mean_hops
+
+    def test_topo_map_reduces_total_traffic(self):
+        mapped, randomized = self._compare((4, 6, 4))
+        assert mapped.total_link_traversals < randomized.total_link_traversals
+
+    def test_topo_map_keeps_many_pairs_on_node(self):
+        """With the 2x2x1 brick, several of the 13 neighbors are
+        co-located and never touch the network."""
+        tm = TopoMap(JobShape((4, 6, 4)))
+        offsets = half_shell_offsets(1)
+        pairs = neighbor_traffic_pairs(tm, offsets)
+        total_sends = tm.rank_grid[0] * tm.rank_grid[1] * tm.rank_grid[2] * 13
+        assert len(pairs) < total_sends  # some stayed on-node

@@ -1,0 +1,121 @@
+"""SoA atom-array tests: local/ghost layout, growth accounting."""
+
+import numpy as np
+import pytest
+
+from repro.md import Atoms
+
+
+@pytest.fixture
+def atoms():
+    a = Atoms(capacity=8)
+    x = np.arange(9.0).reshape(3, 3)
+    v = np.ones((3, 3))
+    a.set_local(x, v, np.array([10, 11, 12]))
+    return a
+
+
+class TestLocal:
+    def test_set_local(self, atoms):
+        assert atoms.nlocal == 3
+        assert atoms.nghost == 0
+        assert np.array_equal(atoms.tag, [10, 11, 12])
+
+    def test_views_share_storage(self, atoms):
+        atoms.x[0, 0] = 99.0
+        assert atoms.x_local()[0, 0] == 99.0
+
+    def test_mismatched_shapes_rejected(self):
+        a = Atoms()
+        with pytest.raises(ValueError):
+            a.set_local(np.zeros((3, 3)), np.zeros((2, 3)), np.zeros(3, dtype=np.int64))
+
+
+class TestGhosts:
+    def test_append_ghosts_returns_range(self, atoms):
+        start, count = atoms.append_ghosts(np.zeros((2, 3)), np.array([20, 21]))
+        assert (start, count) == (3, 2)
+        assert atoms.ntotal == 5
+        assert atoms.nghost == 2
+
+    def test_ghosts_follow_locals_in_memory(self, atoms):
+        atoms.append_ghosts(7 * np.ones((2, 3)), np.array([20, 21]))
+        assert np.all(atoms.x[3:] == 7.0)
+        assert np.array_equal(atoms.tag[3:], [20, 21])
+
+    def test_clear_ghosts(self, atoms):
+        atoms.append_ghosts(np.zeros((2, 3)), np.array([20, 21]))
+        atoms.clear_ghosts()
+        assert atoms.nghost == 0
+        assert atoms.ntotal == 3
+
+    def test_ghost_forces_zeroed_on_append(self, atoms):
+        atoms._f[3:5] = 42.0
+        atoms.append_ghosts(np.zeros((2, 3)), np.array([20, 21]))
+        assert np.all(atoms.f[3:5] == 0.0)
+
+
+class TestGrowth:
+    def test_growth_preserves_data(self):
+        a = Atoms(capacity=2)
+        a.set_local(np.ones((2, 3)), np.zeros((2, 3)), np.array([1, 2]))
+        a.append_ghosts(2 * np.ones((10, 3)), np.arange(10, dtype=np.int64))
+        assert np.all(a.x[:2] == 1.0)
+        assert np.all(a.x[2:] == 2.0)
+        assert a.grow_events >= 1
+
+    def test_presized_arrays_never_grow(self):
+        """The paper's section 3.4 invariant: theoretical-max sizing means
+        zero reallocation during the run."""
+        a = Atoms(capacity=100)
+        a.set_local(np.zeros((10, 3)), np.zeros((10, 3)), np.arange(10, dtype=np.int64))
+        for _ in range(5):
+            a.clear_ghosts()
+            a.append_ghosts(np.zeros((80, 3)), np.arange(80, dtype=np.int64))
+        assert a.grow_events == 0
+
+    def test_reserve_noop_when_sufficient(self, atoms):
+        cap = atoms.capacity
+        atoms.reserve(cap - 1)
+        assert atoms.capacity == cap
+        assert atoms.grow_events == 0
+
+
+class TestMigration:
+    def test_remove_local_returns_removed(self, atoms):
+        x, v, tag, type_ = atoms.remove_local(np.array([1]))
+        assert np.array_equal(tag, [11])
+        assert type_.shape == (1,)
+        assert atoms.nlocal == 2
+        assert np.array_equal(atoms.tag, [10, 12])
+
+    def test_remove_preserves_order_of_kept(self, atoms):
+        atoms.remove_local(np.array([0]))
+        assert np.array_equal(atoms.tag, [11, 12])
+
+    def test_add_local(self, atoms):
+        atoms.add_local(np.zeros((1, 3)), np.zeros((1, 3)), np.array([99]))
+        assert atoms.nlocal == 4
+        assert atoms.tag[3] == 99
+
+    def test_migration_blocked_with_ghosts(self, atoms):
+        atoms.append_ghosts(np.zeros((1, 3)), np.array([20]))
+        with pytest.raises(RuntimeError):
+            atoms.add_local(np.zeros((1, 3)), np.zeros((1, 3)), np.array([99]))
+        with pytest.raises(RuntimeError):
+            atoms.remove_local(np.array([0]))
+
+    def test_remove_out_of_range(self, atoms):
+        with pytest.raises(IndexError):
+            atoms.remove_local(np.array([5]))
+
+    def test_remove_empty_is_noop(self, atoms):
+        atoms.remove_local(np.empty(0, dtype=np.intp))
+        assert atoms.nlocal == 3
+
+
+class TestForces:
+    def test_zero_forces(self, atoms):
+        atoms.f[:] = 3.0
+        atoms.zero_forces()
+        assert np.all(atoms.f == 0.0)

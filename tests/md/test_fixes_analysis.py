@@ -1,0 +1,134 @@
+"""Thermostat fixes and trajectory-analysis tools."""
+
+import numpy as np
+import pytest
+
+from repro import LennardJones, Simulation, SimulationConfig, quick_lj_simulation
+from repro.md import Box
+from repro.md.analysis import MSDTracker, radial_distribution, structure_order_parameter
+from repro.md.fixes import Langevin, VelocityRescale
+from repro.md.lattice import fcc_lattice, lj_density_to_cell, maxwell_velocities
+
+
+class TestVelocityRescale:
+    def test_drives_to_target(self):
+        sim = quick_lj_simulation(cells=(4, 4, 4), ranks=(2, 2, 2),
+                                  temperature=2.5, seed=50)
+        sim.fixes.append(VelocityRescale(t_target=0.7, every=1))
+        sim.run(30)
+        assert sim.sample_thermo().temperature == pytest.approx(0.7, abs=0.05)
+
+    def test_window_suppresses_rescale(self):
+        fix = VelocityRescale(t_target=1.0, window=10.0)
+        sim = quick_lj_simulation(cells=(3, 3, 3), ranks=(1, 1, 1), seed=51)
+        sim.fixes.append(fix)
+        sim.run(5)
+        assert fix.rescale_count == 0
+
+    def test_momentum_preserved(self):
+        """Rescaling is a uniform scale: zero net momentum stays zero."""
+        sim = quick_lj_simulation(cells=(4, 4, 4), ranks=(2, 2, 2), seed=52)
+        sim.fixes.append(VelocityRescale(t_target=0.5))
+        sim.run(10)
+        assert np.allclose(sim.gather_velocities().sum(axis=0), 0.0, atol=1e-9)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            VelocityRescale(t_target=-1.0)
+        with pytest.raises(ValueError):
+            VelocityRescale(t_target=1.0, fraction=0.0)
+        with pytest.raises(ValueError):
+            VelocityRescale(t_target=1.0, every=0)
+
+
+class TestLangevin:
+    def test_equilibrates_to_target(self):
+        sim = quick_lj_simulation(cells=(4, 4, 4), ranks=(2, 2, 2),
+                                  temperature=0.1, seed=53)
+        sim.fixes.append(Langevin(t_target=1.2, damp=0.1, dt=0.005, seed=9))
+        sim.run(80)
+        # Stochastic: generous band around the target.
+        assert 0.9 < sim.sample_thermo().temperature < 1.6
+
+    def test_deterministic_across_patterns(self):
+        """The (seed, step, rank) noise stream makes Langevin runs agree
+        between communication patterns."""
+        temps = {}
+        for pattern in ("3stage", "p2p"):
+            sim = quick_lj_simulation(cells=(4, 4, 4), ranks=(2, 2, 2),
+                                      pattern=pattern, seed=54)
+            sim.fixes.append(Langevin(t_target=1.0, damp=0.2, dt=0.005, seed=3))
+            sim.run(20)
+            temps[pattern] = sim.sample_thermo().temperature
+        assert temps["3stage"] == pytest.approx(temps["p2p"], rel=1e-10)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            Langevin(t_target=1.0, damp=-1.0, dt=0.005)
+
+
+class TestRadialDistribution:
+    @pytest.fixture(scope="class")
+    def melt(self):
+        sim = quick_lj_simulation(cells=(5, 5, 5), ranks=(2, 2, 2),
+                                  temperature=1.44, seed=55, neighbor_every=10)
+        sim.run(60)
+        return sim
+
+    def test_crystal_vs_liquid_structure(self, melt):
+        edge = lj_density_to_cell(0.8442)
+        x_cryst, box = fcc_lattice((5, 5, 5), edge)
+        r, g_cryst = radial_distribution(x_cryst, box, r_max=3.0)
+        _, g_liquid = radial_distribution(melt.gather_positions(), melt.box, r_max=3.0)
+        s_cryst = structure_order_parameter(g_cryst)
+        s_liq = structure_order_parameter(g_liquid)
+        assert s_cryst > 3 * s_liq  # crystal peaks dwarf liquid structure
+
+    def test_liquid_first_peak_near_sigma(self, melt):
+        r, g = radial_distribution(melt.gather_positions(), melt.box, r_max=3.0)
+        peak_r = r[np.argmax(g)]
+        assert 0.95 < peak_r < 1.35  # LJ liquid: ~1.1 sigma
+
+    def test_gr_vanishes_inside_core(self, melt):
+        r, g = radial_distribution(melt.gather_positions(), melt.box, r_max=3.0)
+        assert g[r < 0.8].max(initial=0.0) < 0.1
+
+    def test_gr_normalizes_to_one_at_range(self, melt):
+        r, g = radial_distribution(melt.gather_positions(), melt.box, r_max=3.0)
+        assert g[-10:].mean() == pytest.approx(1.0, abs=0.25)
+
+    def test_input_validation(self):
+        box = Box((0, 0, 0), (4, 4, 4))
+        with pytest.raises(ValueError):
+            radial_distribution(np.zeros((1, 3)), box, r_max=1.0)
+        with pytest.raises(ValueError):
+            radial_distribution(np.zeros((10, 3)), box, r_max=3.0)
+
+
+class TestMSD:
+    def test_static_system_zero_msd(self):
+        box = Box((0, 0, 0), (10, 10, 10))
+        x = np.random.default_rng(0).uniform(0, 10, (20, 3))
+        tracker = MSDTracker(x, box)
+        assert tracker.update(1, x) == 0.0
+
+    def test_unwrapping_across_boundary(self):
+        """An atom crossing the periodic boundary accumulates real
+        displacement, not a box-length jump."""
+        box = Box((0, 0, 0), (10, 10, 10))
+        x = np.array([[9.9, 5.0, 5.0]])
+        tracker = MSDTracker(x, box)
+        tracker.update(1, np.array([[0.1, 5.0, 5.0]]))  # wrapped +0.2
+        assert tracker.samples[-1][1] == pytest.approx(0.04, rel=1e-9)
+
+    def test_liquid_diffuses(self):
+        sim = quick_lj_simulation(cells=(4, 4, 4), ranks=(2, 2, 2),
+                                  temperature=1.44, seed=56, neighbor_every=10)
+        sim.setup()
+        tracker = MSDTracker(sim.gather_positions(), sim.box)
+        for k in range(4):
+            sim.run(10)
+            tracker.update(sim.step_count, sim.gather_positions())
+        msds = [m for _, m in tracker.samples]
+        assert msds[-1] > msds[0] > 0
+        assert tracker.diffusion_estimate(0.005) > 0

@@ -1,0 +1,139 @@
+"""NVE integrator, thermo reduction, and stage-timer tests."""
+
+import numpy as np
+import pytest
+
+from repro.md import Atoms, NVEIntegrator, Stage, StageTimers, Thermo
+
+
+def free_atoms(v):
+    a = Atoms()
+    n = v.shape[0]
+    a.set_local(np.zeros((n, 3)), v, np.arange(n, dtype=np.int64))
+    return a
+
+
+class TestNVE:
+    def test_free_flight(self):
+        """With zero force, x advances by v*dt and v is unchanged."""
+        v = np.array([[1.0, 2.0, 3.0]])
+        a = free_atoms(v)
+        nve = NVEIntegrator(dt=0.1)
+        nve.initial_integrate(a)
+        nve.final_integrate(a)
+        assert np.allclose(a.x[0], [0.1, 0.2, 0.3])
+        assert np.allclose(a.v[0], [1.0, 2.0, 3.0])
+
+    def test_constant_force_kick(self):
+        a = free_atoms(np.zeros((1, 3)))
+        a.f[0] = [2.0, 0.0, 0.0]
+        nve = NVEIntegrator(dt=0.1, mass=2.0)
+        nve.initial_integrate(a)
+        # half kick: dv = 0.5*0.1*2/2 = 0.05 ; drift: dx = 0.1*0.05
+        assert a.v[0, 0] == pytest.approx(0.05)
+        assert a.x[0, 0] == pytest.approx(0.005)
+        nve.final_integrate(a)
+        assert a.v[0, 0] == pytest.approx(0.1)
+
+    def test_ghosts_not_integrated(self):
+        a = free_atoms(np.ones((2, 3)))
+        a.append_ghosts(np.zeros((1, 3)), np.array([9]))
+        nve = NVEIntegrator(dt=0.1)
+        nve.initial_integrate(a)
+        assert np.all(a.x[2] == 0.0)  # ghost untouched
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            NVEIntegrator(dt=0.0)
+        with pytest.raises(ValueError):
+            NVEIntegrator(dt=0.1, mass=-1.0)
+
+    def test_harmonic_energy_conservation(self):
+        """One particle on a spring: velocity Verlet conserves energy to
+        O(dt^2) over many periods."""
+        k = 1.0
+        a = free_atoms(np.zeros((1, 3)))
+        a.x[0] = [1.0, 0.0, 0.0]
+        nve = NVEIntegrator(dt=0.01)
+
+        def energy():
+            return 0.5 * k * a.x[0, 0] ** 2 + 0.5 * a.v[0, 0] ** 2
+
+        e0 = energy()
+        for _ in range(5000):
+            a.f[0, 0] = -k * a.x[0, 0]
+            nve.initial_integrate(a)
+            a.f[0, 0] = -k * a.x[0, 0]
+            nve.final_integrate(a)
+        assert energy() == pytest.approx(e0, rel=1e-4)
+
+
+class TestThermo:
+    def test_local_kinetic(self):
+        th = Thermo(volume=100.0)
+        a = free_atoms(np.array([[1.0, 0, 0], [0, 2.0, 0]]))
+        assert th.local_kinetic(a) == pytest.approx(0.5 * (1 + 4))
+
+    def test_reduce_sums_parts(self):
+        s = Thermo.reduce(5, [1.0, 2.0], [3.0, 4.0], [6.0, 6.0], natoms=10, volume=100.0)
+        assert s.kinetic == 3.0
+        assert s.potential == 7.0
+        assert s.virial == 12.0
+        assert s.total_energy == 10.0
+        assert s.step == 5
+
+    def test_temperature_dof_convention(self):
+        # T = 2 KE / (3N - 3)
+        s = Thermo.reduce(0, [27.0], [0.0], [0.0], natoms=7, volume=1.0)
+        assert s.temperature == pytest.approx(2 * 27.0 / (3 * 7 - 3))
+
+    def test_pressure_ideal_gas_limit(self):
+        # zero virial -> P = N k T / V
+        s = Thermo.reduce(0, [15.0], [0.0], [0.0], natoms=11, volume=50.0)
+        assert s.pressure == pytest.approx(11 * s.temperature / 50.0)
+
+    def test_virial_contribution(self):
+        s0 = Thermo.reduce(0, [15.0], [0.0], [0.0], natoms=11, volume=50.0)
+        s1 = Thermo.reduce(0, [15.0], [0.0], [30.0], natoms=11, volume=50.0)
+        assert s1.pressure - s0.pressure == pytest.approx(30.0 / (3 * 50.0))
+
+    def test_invalid_volume(self):
+        with pytest.raises(ValueError):
+            Thermo(volume=0.0)
+
+
+class TestStageTimers:
+    def test_timing_accumulates(self):
+        t = StageTimers()
+        with t.timing(Stage.PAIR):
+            pass
+        with t.timing(Stage.PAIR):
+            pass
+        assert t.wall[Stage.PAIR] > 0
+        assert t.total_wall() == pytest.approx(sum(t.wall.values()))
+
+    def test_model_account(self):
+        t = StageTimers()
+        t.add_model(Stage.COMM, 1.5)
+        t.add_model(Stage.COMM, 0.5)
+        assert t.model[Stage.COMM] == 2.0
+        with pytest.raises(ValueError):
+            t.add_model(Stage.COMM, -1.0)
+
+    def test_breakdown_percentages(self):
+        t = StageTimers()
+        t.add_model(Stage.PAIR, 3.0)
+        t.add_model(Stage.COMM, 1.0)
+        b = t.breakdown("model")
+        assert b["Pair"] == (3.0, 75.0)
+        assert b["Comm"] == (1.0, 25.0)
+
+    def test_breakdown_empty(self):
+        b = StageTimers().breakdown()
+        assert all(pct == 0.0 for _, pct in b.values())
+
+    def test_merge(self):
+        a, b = StageTimers(), StageTimers()
+        a.add_model(Stage.PAIR, 1.0)
+        b.add_model(Stage.PAIR, 2.0)
+        assert a.merged_with(b).model[Stage.PAIR] == 3.0

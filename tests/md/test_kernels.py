@@ -1,0 +1,49 @@
+"""Scatter-accumulation kernel tests (the bincount fast path)."""
+
+import numpy as np
+import pytest
+
+from repro.md.kernels import scatter_add_scalar, scatter_add_vec, scatter_sub_vec
+
+
+class TestScatterKernels:
+    def test_matches_add_at_vec(self):
+        rng = np.random.default_rng(0)
+        idx = rng.integers(0, 50, 500)
+        vec = rng.normal(size=(500, 3))
+        a = np.zeros((50, 3))
+        b = np.zeros((50, 3))
+        scatter_add_vec(a, idx, vec)
+        np.add.at(b, idx, vec)
+        assert np.allclose(a, b, atol=1e-12)
+
+    def test_matches_subtract_at(self):
+        rng = np.random.default_rng(1)
+        idx = rng.integers(0, 20, 100)
+        vec = rng.normal(size=(100, 3))
+        a = np.zeros((20, 3))
+        b = np.zeros((20, 3))
+        scatter_sub_vec(a, idx, vec)
+        np.subtract.at(b, idx, vec)
+        assert np.allclose(a, b, atol=1e-12)
+
+    def test_scalar_accumulation(self):
+        idx = np.array([0, 0, 2, 2, 2])
+        vals = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        out = np.ones(4)
+        scatter_add_scalar(out, idx, vals)
+        assert np.allclose(out, [4.0, 1.0, 13.0, 1.0])
+
+    def test_empty_index_noop(self):
+        out = np.ones((3, 3))
+        scatter_add_vec(out, np.empty(0, dtype=np.intp), np.empty((0, 3)))
+        assert np.all(out == 1.0)
+        s = np.ones(3)
+        scatter_add_scalar(s, np.empty(0, dtype=np.intp), np.empty(0))
+        assert np.all(s == 1.0)
+
+    def test_accumulates_on_top_of_existing(self):
+        out = np.full((2, 3), 10.0)
+        scatter_add_vec(out, np.array([1]), np.array([[1.0, 2.0, 3.0]]))
+        assert np.allclose(out[1], [11.0, 12.0, 13.0])
+        assert np.allclose(out[0], 10.0)

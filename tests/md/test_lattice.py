@@ -1,0 +1,125 @@
+"""FCC lattice generation tests (Table 2 configurations)."""
+
+import numpy as np
+import pytest
+
+from repro.md import fcc_lattice, fcc_box_for_atoms, lj_density_to_cell
+from repro.md.lattice import maxwell_velocities
+
+
+class TestCellEdge:
+    def test_lj_benchmark_density(self):
+        # rho* = 0.8442 -> cell edge (4/rho)^(1/3) = 1.6796 sigma
+        assert lj_density_to_cell(0.8442) == pytest.approx(1.6796, abs=1e-4)
+
+    def test_density_roundtrip(self):
+        edge = lj_density_to_cell(0.5)
+        assert 4.0 / edge**3 == pytest.approx(0.5)
+
+    def test_invalid_density(self):
+        with pytest.raises(ValueError):
+            lj_density_to_cell(0.0)
+
+
+class TestLattice:
+    def test_atom_count(self):
+        x, _ = fcc_lattice((3, 4, 5), 1.0)
+        assert x.shape == (4 * 60, 3)
+
+    def test_box_tiles_exactly(self):
+        x, box = fcc_lattice((2, 3, 4), 3.615)
+        assert np.allclose(box.lengths, [2 * 3.615, 3 * 3.615, 4 * 3.615])
+        assert np.all(box.contains(x))
+
+    def test_density_correct(self):
+        rho = 0.8442
+        x, box = fcc_lattice((4, 4, 4), lj_density_to_cell(rho))
+        assert x.shape[0] / box.volume == pytest.approx(rho)
+
+    def test_nearest_neighbor_distance(self):
+        """FCC nearest-neighbor distance is edge / sqrt(2)."""
+        edge = 3.615
+        x, box = fcc_lattice((3, 3, 3), edge)
+        d = box.minimum_image(x[None, 0, :] - x[1:])
+        r = np.sqrt(np.einsum("ij,ij->i", d, d))
+        assert r.min() == pytest.approx(edge / np.sqrt(2), rel=1e-9)
+
+    def test_no_duplicate_positions(self):
+        x, _ = fcc_lattice((3, 3, 3), 1.0)
+        assert len({tuple(np.round(p, 9)) for p in x}) == x.shape[0]
+
+    def test_invalid_cells(self):
+        with pytest.raises(ValueError):
+            fcc_lattice((0, 1, 1), 1.0)
+
+
+class TestSizing:
+    def test_fcc_box_for_atoms_covers_request(self):
+        for n in (4, 100, 65_536, 1_000_003):
+            cells = fcc_box_for_atoms(n)
+            assert 4 * cells[0] * cells[1] * cells[2] >= n
+
+    def test_paper_65k_system(self):
+        cells = fcc_box_for_atoms(65_536)
+        assert cells == (26, 26, 26)  # 70304 atoms, nearest cube >= 65536
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            fcc_box_for_atoms(3)
+
+
+class TestVelocities:
+    def test_zero_net_momentum(self):
+        v = maxwell_velocities(500, 1.44)
+        assert np.allclose(v.mean(axis=0), 0.0, atol=1e-12)
+
+    def test_temperature_roughly_right(self):
+        v = maxwell_velocities(20_000, 2.0, seed=3)
+        t_measured = (v**2).sum() / (3 * 20_000)
+        assert t_measured == pytest.approx(2.0, rel=0.05)
+
+    def test_reproducible(self):
+        assert np.array_equal(
+            maxwell_velocities(10, 1.0, seed=5), maxwell_velocities(10, 1.0, seed=5)
+        )
+
+    def test_seed_changes_draw(self):
+        assert not np.array_equal(
+            maxwell_velocities(10, 1.0, seed=5), maxwell_velocities(10, 1.0, seed=6)
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            maxwell_velocities(0, 1.0)
+
+
+class TestDiamondLattice:
+    def test_atom_count_is_8_per_cell(self):
+        from repro.md.lattice import diamond_lattice
+
+        x, box = diamond_lattice((3, 3, 3), 2.0)
+        assert x.shape == (8 * 27, 3)
+
+    def test_tetrahedral_coordination(self):
+        """Diamond: every atom has 4 nearest neighbors at sqrt(3)/4 a0."""
+        from repro.md.lattice import diamond_lattice
+
+        a0 = 2.0
+        x, box = diamond_lattice((3, 3, 3), a0)
+        d = box.minimum_image(x[None, 0, :] - x[1:])
+        r = np.sqrt(np.einsum("ij,ij->i", d, d))
+        r_nn = a0 * np.sqrt(3) / 4
+        assert np.isclose(r.min(), r_nn)
+        assert int(np.isclose(r, r_nn).sum()) == 4
+
+    def test_positions_wrapped(self):
+        from repro.md.lattice import diamond_lattice
+
+        x, box = diamond_lattice((2, 2, 2), 1.5)
+        assert box.contains(x).all()
+
+    def test_no_duplicates(self):
+        from repro.md.lattice import diamond_lattice
+
+        x, _ = diamond_lattice((2, 2, 2), 1.0)
+        assert len({tuple(np.round(p, 9)) for p in x}) == x.shape[0]

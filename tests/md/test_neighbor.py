@@ -1,0 +1,196 @@
+"""Neighbor-list tests: binned builder vs brute force, half/full rules,
+rebuild policies."""
+
+import numpy as np
+import pytest
+
+from repro.md import NeighborList, NeighborSettings, build_pairs
+from repro.md.neighbor import build_pairs_bruteforce
+
+
+def pair_set(i, j):
+    return {(int(a), int(b)) for a, b in zip(i, j)}
+
+
+def random_system(n, nlocal, seed, span=10.0):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0, span, size=(n, 3)), nlocal
+
+
+class TestBinnedVsBruteForce:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("half", [True, False])
+    def test_matches_bruteforce_random(self, seed, half):
+        x, nlocal = random_system(300, 200, seed)
+        got = pair_set(*build_pairs(x, nlocal, 1.5, half=half))
+        want = pair_set(*build_pairs_bruteforce(x, nlocal, 1.5, half=half))
+        assert got == want
+
+    @pytest.mark.parametrize("rule", ["all", "coord"])
+    def test_ghost_rules_match_bruteforce(self, rule):
+        x, nlocal = random_system(250, 150, 7)
+        got = pair_set(*build_pairs(x, nlocal, 2.0, half=True, ghost_rule=rule))
+        want = pair_set(
+            *build_pairs_bruteforce(x, nlocal, 2.0, half=True, ghost_rule=rule)
+        )
+        assert got == want
+
+    def test_large_cutoff_single_cell(self):
+        x, nlocal = random_system(60, 60, 3, span=2.0)
+        got = pair_set(*build_pairs(x, nlocal, 5.0))
+        want = pair_set(*build_pairs_bruteforce(x, nlocal, 5.0))
+        assert got == want
+
+    def test_tiny_cutoff(self):
+        x, nlocal = random_system(500, 500, 4)
+        got = pair_set(*build_pairs(x, nlocal, 0.3))
+        want = pair_set(*build_pairs_bruteforce(x, nlocal, 0.3))
+        assert got == want
+
+
+class TestPairProperties:
+    def test_i_always_local(self):
+        x, nlocal = random_system(200, 120, 5)
+        i, j = build_pairs(x, nlocal, 2.0, half=False)
+        assert np.all(i < nlocal)
+
+    def test_distances_below_cutoff(self):
+        x, nlocal = random_system(200, 150, 6)
+        i, j = build_pairs(x, nlocal, 1.8)
+        d = x[i] - x[j]
+        assert np.all(np.einsum("ij,ij->i", d, d) < 1.8**2)
+
+    def test_no_self_pairs(self):
+        x, nlocal = random_system(100, 100, 8)
+        i, j = build_pairs(x, nlocal, 3.0, half=False)
+        assert np.all(i != j)
+
+    def test_half_local_pairs_unique(self):
+        x, nlocal = random_system(150, 150, 9)
+        i, j = build_pairs(x, nlocal, 2.0, half=True)
+        assert np.all(i < j)  # all-local: i<j rule
+        assert len(pair_set(i, j)) == len(i)
+
+    def test_full_list_is_symmetric_on_locals(self):
+        x, nlocal = random_system(100, 100, 10)
+        pairs = pair_set(*build_pairs(x, nlocal, 2.0, half=False))
+        assert all((b, a) in pairs for a, b in pairs)
+
+    def test_full_has_twice_half_for_all_local(self):
+        x, nlocal = random_system(120, 120, 11)
+        nh = build_pairs(x, nlocal, 2.0, half=True)[0].size
+        nf = build_pairs(x, nlocal, 2.0, half=False)[0].size
+        assert nf == 2 * nh
+
+    def test_coord_rule_partitions_ghost_pairs(self):
+        """'coord' keeps exactly one orientation of each local-ghost pair
+        relative to keeping all of them."""
+        x, nlocal = random_system(200, 100, 12)
+        all_g = build_pairs(x, nlocal, 2.5, half=True, ghost_rule="all")
+        coord_g = build_pairs(x, nlocal, 2.5, half=True, ghost_rule="coord")
+        n_ghost_all = int((all_g[1] >= nlocal).sum())
+        n_ghost_coord = int((coord_g[1] >= nlocal).sum())
+        assert 0 < n_ghost_coord < n_ghost_all
+
+    def test_empty_inputs(self):
+        i, j = build_pairs(np.zeros((1, 3)), 1, 1.0)
+        assert i.size == 0
+        i, j = build_pairs(np.zeros((5, 3)), 0, 1.0)
+        assert i.size == 0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            build_pairs(np.zeros((5, 3)), 6, 1.0)
+        with pytest.raises(ValueError):
+            build_pairs(np.zeros((5, 3)), 5, -1.0)
+        with pytest.raises(ValueError):
+            build_pairs(np.zeros((5, 3)), 5, 1.0, ghost_rule="bogus")
+
+
+class TestNeighborList:
+    def settings(self, **kw):
+        defaults = dict(cutoff=1.5, skin=0.5)
+        defaults.update(kw)
+        return NeighborSettings(**defaults)
+
+    def test_r_comm(self):
+        assert self.settings().r_comm == 2.0
+
+    def test_build_counts(self):
+        x, nlocal = random_system(100, 100, 13)
+        nl = NeighborList(self.settings())
+        nl.build(x, nlocal)
+        assert nl.builds == 1
+        assert nl.n_pairs == build_pairs(x, nlocal, 2.0)[0].size
+
+    def test_displacement_tracking(self):
+        x, nlocal = random_system(50, 50, 14)
+        nl = NeighborList(self.settings(skin=1.0))
+        nl.build(x, nlocal)
+        assert not nl.needs_rebuild(x[:nlocal])  # nothing moved
+        moved = x[:nlocal].copy()
+        moved[0] += 0.6  # > skin/2 = 0.5
+        assert nl.needs_rebuild(moved)
+
+    def test_displacement_below_half_skin_ok(self):
+        x, nlocal = random_system(50, 50, 15)
+        nl = NeighborList(self.settings(skin=1.0))
+        nl.build(x, nlocal)
+        moved = x[:nlocal] + 0.2  # |d| = 0.35 < 0.5
+        assert not nl.needs_rebuild(moved)
+
+    def test_unbuilt_list_always_needs_rebuild(self):
+        nl = NeighborList(self.settings())
+        assert nl.needs_rebuild(np.zeros((3, 3)))
+
+    def test_changed_local_count_forces_rebuild(self):
+        x, nlocal = random_system(50, 50, 16)
+        nl = NeighborList(self.settings())
+        nl.build(x, nlocal)
+        assert nl.needs_rebuild(x[:30])
+
+
+class TestPerAtomView:
+    def _built(self, half=True, seed=20):
+        x, nlocal = random_system(150, 150, seed)
+        nl = NeighborList(NeighborSettings(cutoff=1.5, skin=0.5, half=half))
+        nl.build(x, nlocal)
+        return x, nlocal, nl
+
+    def test_csr_covers_all_pairs(self):
+        x, nlocal, nl = self._built()
+        first, neigh = nl.per_atom(nlocal)
+        assert first[0] == 0
+        assert first[-1] == nl.n_pairs
+        rebuilt = set()
+        for i in range(nlocal):
+            for j in neigh[first[i] : first[i + 1]]:
+                rebuilt.add((i, int(j)))
+        assert rebuilt == set(zip(nl.pair_i.tolist(), nl.pair_j.tolist()))
+
+    def test_csr_rows_monotone(self):
+        x, nlocal, nl = self._built(half=False)
+        first, _ = nl.per_atom(nlocal)
+        assert np.all(np.diff(first) >= 0)
+
+    def test_coordination_full_equals_direct_count(self):
+        x, nlocal, nl = self._built(half=False)
+        coord = nl.coordination(nlocal)
+        assert coord.sum() == nl.n_pairs
+        # spot-check atom 0 against brute force
+        d = x - x[0]
+        r2 = np.einsum("ij,ij->i", d, d)
+        expect = int(((r2 < 2.0**2) & (r2 > 0)).sum())
+        assert coord[0] == expect
+
+    def test_half_and_full_coordination_agree(self):
+        """Counting both pair endpoints of a half list equals the full
+        list's per-atom counts (all-local system)."""
+        x, nlocal = random_system(120, 120, 21)
+        half_nl = NeighborList(NeighborSettings(cutoff=1.5, skin=0.5, half=True))
+        half_nl.build(x, nlocal)
+        full_nl = NeighborList(NeighborSettings(cutoff=1.5, skin=0.5, half=False))
+        full_nl.build(x, nlocal)
+        assert np.array_equal(
+            half_nl.coordination(nlocal), full_nl.coordination(nlocal)
+        )

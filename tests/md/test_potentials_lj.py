@@ -1,0 +1,133 @@
+"""Lennard-Jones potential: analytic values, forces, Newton symmetry."""
+
+import numpy as np
+import pytest
+
+from repro.md import Atoms, LennardJones
+from repro.md.neighbor import build_pairs
+
+
+def two_atoms(r):
+    a = Atoms()
+    a.set_local(
+        np.array([[0.0, 0.0, 0.0], [r, 0.0, 0.0]]),
+        np.zeros((2, 3)),
+        np.array([0, 1]),
+    )
+    return a
+
+
+class TestAnalyticValues:
+    def test_minimum_at_r_min(self):
+        lj = LennardJones()
+        r_min = 2 ** (1 / 6)
+        assert lj.pair_energy(np.array([r_min]))[0] == pytest.approx(-1.0)
+
+    def test_zero_crossing_at_sigma(self):
+        lj = LennardJones()
+        assert lj.pair_energy(np.array([1.0]))[0] == pytest.approx(0.0)
+
+    def test_force_zero_at_minimum(self):
+        lj = LennardJones()
+        r_min = 2 ** (1 / 6)
+        assert lj.pair_force_over_r(np.array([r_min**2]))[0] == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+    def test_repulsive_inside_minimum(self):
+        lj = LennardJones()
+        assert lj.pair_force_over_r(np.array([1.0]))[0] > 0  # pushes apart
+
+    def test_attractive_outside_minimum(self):
+        lj = LennardJones()
+        assert lj.pair_force_over_r(np.array([1.5**2]))[0] < 0
+
+    def test_epsilon_sigma_scaling(self):
+        lj = LennardJones(epsilon=2.0, sigma=3.0)
+        base = LennardJones()
+        assert lj.pair_energy(np.array([3.0 * 1.1]))[0] == pytest.approx(
+            2.0 * base.pair_energy(np.array([1.1]))[0]
+        )
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LennardJones(epsilon=-1.0)
+
+
+class TestCompute:
+    def test_force_matches_numerical_gradient(self):
+        lj = LennardJones(cutoff=2.5)
+        r = 1.3
+        atoms = two_atoms(r)
+        i, j = build_pairs(atoms.x, 2, 2.5)
+        lj.compute(atoms, i, j)
+        h = 1e-7
+        e_plus = lj.pair_energy(np.array([r + h]))[0]
+        e_minus = lj.pair_energy(np.array([r - h]))[0]
+        f_numeric = -(e_plus - e_minus) / (2 * h)
+        # force on atom 1 along +x equals -dU/dr
+        assert atoms.f[1, 0] == pytest.approx(f_numeric, rel=1e-6)
+
+    def test_newton_antisymmetry(self):
+        lj = LennardJones()
+        atoms = two_atoms(1.2)
+        i, j = build_pairs(atoms.x, 2, 2.5)
+        lj.compute(atoms, i, j)
+        assert np.allclose(atoms.f[0], -atoms.f[1])
+
+    def test_cutoff_respected(self):
+        lj = LennardJones(cutoff=2.5)
+        atoms = two_atoms(2.6)
+        # pair within r_comm (cutoff+skin) but outside force cutoff
+        i, j = build_pairs(atoms.x, 2, 3.0)
+        res = lj.compute(atoms, i, j)
+        assert res.energy == 0.0
+        assert np.all(atoms.f == 0.0)
+
+    def test_energy_counted_once_per_pair(self):
+        lj = LennardJones()
+        atoms = two_atoms(1.1)
+        i, j = build_pairs(atoms.x, 2, 2.5)
+        res = lj.compute(atoms, i, j)
+        assert res.energy == pytest.approx(float(lj.pair_energy(np.array([1.1]))[0]))
+
+    def test_full_list_halves_energy_per_visit(self):
+        lj = LennardJones()
+        atoms_h = two_atoms(1.1)
+        ih, jh = build_pairs(atoms_h.x, 2, 2.5, half=True)
+        e_half = lj.compute(atoms_h, ih, jh, half_list=True).energy
+
+        atoms_f = two_atoms(1.1)
+        i_f, j_f = build_pairs(atoms_f.x, 2, 2.5, half=False)
+        e_full = lj.compute(atoms_f, i_f, j_f, half_list=False).energy
+        assert e_full == pytest.approx(e_half)
+        assert np.allclose(atoms_f.f[:2], atoms_h.f[:2])
+
+    def test_virial_sign_convention(self):
+        lj = LennardJones()
+        # repulsive separation -> positive virial (outward pressure)
+        atoms = two_atoms(1.0)
+        i, j = build_pairs(atoms.x, 2, 2.5)
+        assert lj.compute(atoms, i, j).virial > 0
+        # attractive separation -> negative virial
+        atoms = two_atoms(1.5)
+        i, j = build_pairs(atoms.x, 2, 2.5)
+        assert lj.compute(atoms, i, j).virial < 0
+
+    def test_empty_pair_list(self):
+        lj = LennardJones()
+        atoms = two_atoms(1.0)
+        res = lj.compute(atoms, np.empty(0, dtype=np.intp), np.empty(0, dtype=np.intp))
+        assert res.energy == 0.0 and res.virial == 0.0
+
+    def test_total_force_zero_many_atoms(self):
+        rng = np.random.default_rng(0)
+        n = 60
+        # well-separated random gas to avoid overflow
+        x = rng.uniform(0, 8, size=(n, 3))
+        atoms = Atoms()
+        atoms.set_local(x, np.zeros((n, 3)), np.arange(n, dtype=np.int64))
+        lj = LennardJones(cutoff=2.0)
+        i, j = build_pairs(atoms.x, n, 2.0)
+        lj.compute(atoms, i, j)
+        assert np.allclose(atoms.f.sum(axis=0), 0.0, atol=1e-9)

@@ -1,0 +1,170 @@
+"""Stillinger-Weber three-body potential: forces, physics, parallelism.
+
+SW is the repository's Tersoff-class potential — the full-neighbor-list
++ ghost-force case that motivates the paper's 26-neighbor extended
+experiment (section 4.4).
+"""
+
+import numpy as np
+import pytest
+
+from repro import Simulation, SimulationConfig
+from repro.md.atoms import Atoms
+from repro.md.lattice import diamond_lattice, fcc_lattice, maxwell_velocities
+from repro.md.neighbor import build_pairs
+from repro.md.potentials import StillingerWeber
+
+#: Reduced silicon lattice constant (5.431 A / 2.0951 A).
+SI_A0 = 5.431 / 2.0951
+
+
+def cluster(seed=3, cells=(2, 2, 2), edge=1.6, jitter=0.03):
+    rng = np.random.default_rng(seed)
+    x, box = fcc_lattice(cells, edge)
+    x = x + rng.normal(0, jitter, x.shape)
+    n = x.shape[0]
+    atoms = Atoms()
+    atoms.set_local(x, np.zeros((n, 3)), np.arange(n, dtype=np.int64))
+    return atoms, x, n
+
+
+class TestTripletEnumeration:
+    def test_matches_bruteforce(self):
+        """The cumsum triplet indexer equals nested loops over CSR rows."""
+        sw = StillingerWeber()
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 4, size=(40, 3))
+        i, j = build_pairs(x, 40, sw.cutoff, half=False)
+        order = np.argsort(i, kind="stable")
+        i_s, j_s = i[order], j[order]
+        first = np.searchsorted(i_s, np.arange(41))
+        c, a, b = sw._triplets(first, j_s, 40)
+        got = set(zip(c.tolist(), a.tolist(), b.tolist()))
+        want = set()
+        for center in range(40):
+            row = j_s[first[center] : first[center + 1]]
+            for p in range(len(row)):
+                for q in range(p + 1, len(row)):
+                    want.add((center, int(row[p]), int(row[q])))
+        assert got == want
+
+    def test_isolated_atoms_no_triplets(self):
+        sw = StillingerWeber()
+        first = np.array([0, 0, 1], dtype=np.intp)  # one neighbor max
+        c, a, b = sw._triplets(first, np.array([1], dtype=np.intp), 2)
+        assert c.size == 0
+
+
+class TestForces:
+    def test_gradient_check(self):
+        sw = StillingerWeber()
+        atoms, x, n = cluster()
+
+        def energy_of(flat):
+            a = Atoms()
+            a.set_local(flat.reshape(n, 3), np.zeros((n, 3)), np.arange(n, dtype=np.int64))
+            i, j = build_pairs(a.x, n, sw.cutoff, half=False)
+            return sw.compute(a, i, j, half_list=False).energy
+
+        i, j = build_pairs(atoms.x, n, sw.cutoff, half=False)
+        sw.compute(atoms, i, j, half_list=False)
+        flat = x.ravel()
+        h = 1e-6
+        rng = np.random.default_rng(1)
+        for k in rng.choice(len(flat), 10, replace=False):
+            fp, fm = flat.copy(), flat.copy()
+            fp[k] += h
+            fm[k] -= h
+            f_num = -(energy_of(fp) - energy_of(fm)) / (2 * h)
+            assert atoms.f.ravel()[k] == pytest.approx(f_num, rel=1e-5, abs=1e-7)
+
+    def test_total_force_zero(self):
+        sw = StillingerWeber()
+        atoms, _, n = cluster(seed=4)
+        i, j = build_pairs(atoms.x, n, sw.cutoff, half=False)
+        sw.compute(atoms, i, j, half_list=False)
+        assert np.allclose(atoms.f.sum(axis=0), 0.0, atol=1e-11)
+
+    def test_half_list_rejected(self):
+        sw = StillingerWeber()
+        atoms, _, n = cluster()
+        i, j = build_pairs(atoms.x, n, sw.cutoff, half=True)
+        with pytest.raises(ValueError, match="full neighbor list"):
+            sw.compute(atoms, i, j, half_list=True)
+
+    def test_flags(self):
+        sw = StillingerWeber()
+        assert sw.needs_full_list
+        assert sw.force_ghosts
+        assert sw.cutoff == pytest.approx(1.80)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            StillingerWeber(epsilon=-1.0)
+
+
+class TestSiliconPhysics:
+    def test_diamond_cohesive_energy_is_two_eps(self):
+        """SW's defining property: E/atom = -2 eps at the Si lattice
+        constant (the parameterization was built to make this exact)."""
+        x, box = diamond_lattice((3, 3, 3), SI_A0)
+        cfg = SimulationConfig(dt=0.001, skin=0.3, pattern="p2p")
+        sim = Simulation(x, np.zeros_like(x), box, StillingerWeber(), cfg, grid=(1, 1, 1))
+        sim.setup()
+        assert sim.sample_thermo().potential / x.shape[0] == pytest.approx(-2.0, abs=1e-6)
+
+    def test_diamond_is_equilibrium(self):
+        """Zero forces on the perfect lattice; compression/expansion raise
+        the energy (it is a minimum)."""
+        energies = {}
+        for scale in (0.97, 1.0, 1.03):
+            x, box = diamond_lattice((3, 3, 3), SI_A0 * scale)
+            cfg = SimulationConfig(dt=0.001, skin=0.3, pattern="p2p")
+            sim = Simulation(
+                x, np.zeros_like(x), box, StillingerWeber(), cfg, grid=(1, 1, 1)
+            )
+            sim.setup()
+            energies[scale] = sim.sample_thermo().potential
+            if scale == 1.0:
+                assert np.abs(sim.gather_forces()).max() < 1e-9
+        assert energies[1.0] < energies[0.97]
+        assert energies[1.0] < energies[1.03]
+
+
+class TestParallel:
+    def test_decompositions_agree(self):
+        """Full shell + ghost-force reverse: every rank grid integrates
+        the same trajectory (the communication case of section 4.4)."""
+        x, box = diamond_lattice((3, 3, 3), SI_A0)
+        v = maxwell_velocities(x.shape[0], 0.01, seed=6)
+        positions = {}
+        for grid in [(1, 1, 1), (2, 2, 1), (2, 2, 2)]:
+            cfg = SimulationConfig(dt=0.002, skin=0.3, pattern="p2p", neighbor_every=5)
+            sim = Simulation(x, v, box, StillingerWeber(), cfg, grid=grid)
+            sim.run(10)
+            positions[grid] = sim.gather_positions()
+        base = positions[(1, 1, 1)]
+        for grid, pos in positions.items():
+            d = box.minimum_image(pos - base)
+            assert np.abs(d).max() < 1e-10, grid
+
+    def test_uses_full_shell_and_reverse(self):
+        x, box = diamond_lattice((3, 3, 3), SI_A0)
+        v = maxwell_velocities(x.shape[0], 0.01, seed=7)
+        cfg = SimulationConfig(dt=0.002, skin=0.3, pattern="p2p")
+        sim = Simulation(x, v, box, StillingerWeber(), cfg, grid=(2, 2, 1))
+        sim.run(2)
+        # 26-neighbor shell (full list) ...
+        assert len(sim.exchange.recv_offsets) == 26
+        # ... and the reverse stage runs despite newton-off lists.
+        assert sim.world.transport.log.count("reverse") > 0
+
+    def test_energy_conservation(self):
+        x, box = diamond_lattice((3, 3, 3), SI_A0)
+        v = maxwell_velocities(x.shape[0], 0.02, seed=8)
+        cfg = SimulationConfig(dt=0.002, skin=0.3, pattern="p2p", neighbor_every=5)
+        sim = Simulation(x, v, box, StillingerWeber(), cfg, grid=(2, 2, 1))
+        sim.setup()
+        e0 = sim.sample_thermo().total_energy
+        sim.run(50)
+        assert sim.sample_thermo().total_energy == pytest.approx(e0, rel=1e-5)

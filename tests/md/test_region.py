@@ -1,0 +1,127 @@
+"""Box / sub-box geometry: wrapping, minimum image, border masks."""
+
+import numpy as np
+import pytest
+
+from repro.md import Box, SubBox
+
+
+@pytest.fixture
+def box():
+    return Box((0.0, 0.0, 0.0), (10.0, 20.0, 30.0))
+
+
+@pytest.fixture
+def sub():
+    # middle sub-box of a 3x3x3 grid over a 30-cube
+    return SubBox((10.0, 10.0, 10.0), (20.0, 20.0, 20.0), (1, 1, 1), (3, 3, 3))
+
+
+class TestBox:
+    def test_lengths_volume(self, box):
+        assert np.array_equal(box.lengths, [10, 20, 30])
+        assert box.volume == 6000.0
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Box((0, 0, 0), (1, 0, 1))
+
+    def test_wrap(self, box):
+        x = np.array([[12.0, -1.0, 31.0]])
+        assert np.allclose(box.wrap(x), [[2.0, 19.0, 1.0]])
+
+    def test_wrap_identity_inside(self, box):
+        x = np.array([[5.0, 5.0, 5.0]])
+        assert np.allclose(box.wrap(x), x)
+
+    def test_minimum_image(self, box):
+        dx = np.array([[9.0, 0.0, 0.0]])
+        assert np.allclose(box.minimum_image(dx), [[-1.0, 0.0, 0.0]])
+
+    def test_minimum_image_bound(self, box):
+        rng = np.random.default_rng(1)
+        dx = rng.uniform(-50, 50, size=(100, 3))
+        mi = box.minimum_image(dx)
+        assert np.all(np.abs(mi) <= box.lengths / 2 + 1e-12)
+
+    def test_contains(self, box):
+        assert box.contains(np.array([5.0, 5.0, 5.0]))
+        assert not box.contains(np.array([10.0, 5.0, 5.0]))  # hi-exclusive
+
+
+class TestBorderMask:
+    def test_face_offset(self, sub):
+        x = np.array([[19.5, 15, 15], [15, 15, 15]])
+        mask = sub.border_mask(x, (1, 0, 0), rcomm=1.0)
+        assert list(mask) == [True, False]
+
+    def test_negative_face(self, sub):
+        x = np.array([[10.5, 15, 15], [12, 15, 15]])
+        mask = sub.border_mask(x, (-1, 0, 0), rcomm=1.0)
+        assert list(mask) == [True, False]
+
+    def test_corner_is_intersection(self, sub):
+        x = np.array(
+            [
+                [19.5, 19.5, 19.5],  # corner
+                [19.5, 19.5, 15.0],  # edge only
+            ]
+        )
+        mask = sub.border_mask(x, (1, 1, 1), rcomm=1.0)
+        assert list(mask) == [True, False]
+
+    def test_zero_offset_axis_accepts_anything(self, sub):
+        x = np.array([[19.5, 10.1, 19.9]])
+        assert sub.border_mask(x, (1, 0, 0), rcomm=1.0)[0]
+
+    def test_radius2_shell_empty_when_cutoff_small(self, sub):
+        x = np.array([[19.9, 15, 15]])
+        assert not sub.border_mask(x, (2, 0, 0), rcomm=1.0).any()
+
+    def test_radius2_shell_nonempty_for_long_cutoff(self, sub):
+        # rcomm = 12 > sub-box edge 10: depth into the +2 neighbor is 2.
+        x = np.array([[18.5, 15, 15], [17.0, 15, 15]])
+        mask = sub.border_mask(x, (2, 0, 0), rcomm=12.0)
+        assert list(mask) == [True, False]
+
+    def test_volume_of_regions_matches_table1(self, sub):
+        """Monte-Carlo check: face/edge/corner region fractions follow
+        a^2 r, a r^2, r^3 (Table 1)."""
+        rng = np.random.default_rng(42)
+        n = 200_000
+        x = rng.uniform(10.0, 20.0, size=(n, 3))
+        a, r = 10.0, 1.5
+        face = sub.border_mask(x, (1, 0, 0), r).mean() * a**3
+        edge = sub.border_mask(x, (1, 1, 0), r).mean() * a**3
+        corner = sub.border_mask(x, (1, 1, 1), r).mean() * a**3
+        assert face == pytest.approx(a * a * r, rel=0.05)
+        assert edge == pytest.approx(a * r * r, rel=0.05)
+        assert corner == pytest.approx(r**3, rel=0.15)
+
+
+class TestGhostShift:
+    def test_interior_no_shift(self, sub):
+        box = Box((0, 0, 0), (30, 30, 30))
+        assert np.array_equal(sub.ghost_shift((1, 0, 0), box), [0, 0, 0])
+
+    def test_wrap_high_side(self):
+        box = Box((0, 0, 0), (30, 30, 30))
+        edge_sub = SubBox((20, 0, 0), (30, 10, 10), (2, 0, 0), (3, 3, 3))
+        # neighbor at +x wraps to grid 0 -> its atoms appear shifted +30
+        assert np.array_equal(edge_sub.ghost_shift((1, 0, 0), box), [30, 0, 0])
+
+    def test_wrap_low_side(self):
+        box = Box((0, 0, 0), (30, 30, 30))
+        edge_sub = SubBox((0, 0, 0), (10, 10, 10), (0, 0, 0), (3, 3, 3))
+        assert np.array_equal(edge_sub.ghost_shift((-1, 0, 0), box), [-30, 0, 0])
+
+    def test_single_rank_both_shifts(self):
+        """1-wide grids wrap in both directions onto the same rank."""
+        box = Box((0, 0, 0), (10, 10, 10))
+        solo = SubBox((0, 0, 0), (10, 10, 10), (0, 0, 0), (1, 1, 1))
+        assert np.array_equal(solo.ghost_shift((1, 0, 0), box), [10, 0, 0])
+        assert np.array_equal(solo.ghost_shift((-1, 0, 0), box), [-10, 0, 0])
+
+    def test_contains(self, sub):
+        assert sub.contains(np.array([15.0, 15.0, 15.0]))
+        assert not sub.contains(np.array([20.0, 15.0, 15.0]))

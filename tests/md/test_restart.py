@@ -1,0 +1,111 @@
+"""Checkpoint/restart tests: state completeness and pattern independence."""
+
+import numpy as np
+import pytest
+
+from repro import LennardJones, SimulationConfig, quick_lj_simulation
+from repro.md.restart import RESTART_VERSION, load_checkpoint, save_checkpoint
+
+
+def fresh_sim(**kw):
+    defaults = dict(cells=(4, 4, 4), ranks=(2, 2, 2), seed=71, neighbor_every=5)
+    defaults.update(kw)
+    return quick_lj_simulation(**defaults)
+
+
+def cfg(pattern="p2p", rdma=False):
+    return SimulationConfig(
+        dt=0.005, skin=0.3, pattern=pattern, rdma=rdma, neighbor_every=5
+    )
+
+
+class TestRoundtrip:
+    def test_restart_continues_identically(self, tmp_path):
+        """run(20) == run(10) + checkpoint + run(10)."""
+        straight = fresh_sim()
+        straight.run(20)
+
+        half = fresh_sim()
+        half.run(10)
+        ckpt = tmp_path / "mid.npz"
+        save_checkpoint(half, ckpt)
+        resumed = load_checkpoint(ckpt, LennardJones(cutoff=2.5), cfg(), grid=(2, 2, 2))
+        assert resumed.step_count == 10
+        resumed.run(10)
+
+        d = straight.box.minimum_image(
+            resumed.gather_positions() - straight.gather_positions()
+        )
+        assert np.abs(d).max() < 1e-12
+        dv = resumed.gather_velocities() - straight.gather_velocities()
+        assert np.abs(dv).max() < 1e-12
+
+    def test_restart_across_patterns(self, tmp_path):
+        """A checkpoint from a 3-stage run continues identically under
+        the optimized p2p/RDMA stack — physics is pattern-independent."""
+        a = fresh_sim(pattern="3stage")
+        a.run(10)
+        ckpt = tmp_path / "a.npz"
+        save_checkpoint(a, ckpt)
+        b = load_checkpoint(
+            ckpt, LennardJones(cutoff=2.5), cfg("parallel-p2p", rdma=True),
+            grid=(2, 2, 2),
+        )
+        a.run(10)
+        b.run(10)
+        d = a.box.minimum_image(a.gather_positions() - b.gather_positions())
+        assert np.abs(d).max() < 1e-10
+
+    def test_restart_across_rank_grids(self, tmp_path):
+        a = fresh_sim(ranks=(2, 2, 2))
+        a.run(8)
+        ckpt = tmp_path / "grid.npz"
+        save_checkpoint(a, ckpt)
+        b = load_checkpoint(ckpt, LennardJones(cutoff=2.5), cfg(), grid=(2, 2, 1))
+        a.run(8)
+        b.run(8)
+        d = a.box.minimum_image(a.gather_positions() - b.gather_positions())
+        assert np.abs(d).max() < 1e-10
+
+    def test_types_preserved(self, tmp_path):
+        from repro import Simulation
+        from repro.md.lattice import fcc_lattice, lj_density_to_cell, maxwell_velocities
+
+        edge = lj_density_to_cell(0.8442)
+        x, box = fcc_lattice((4, 4, 4), edge)
+        types = (np.arange(x.shape[0]) % 2).astype(np.int32)
+        lj = LennardJones(n_types=2)
+        sim = Simulation(
+            x, maxwell_velocities(x.shape[0], 1.0, seed=2), box, lj, cfg(),
+            grid=(2, 2, 2), types=types,
+        )
+        sim.run(5)
+        ckpt = tmp_path / "t.npz"
+        save_checkpoint(sim, ckpt)
+        restored = load_checkpoint(ckpt, lj, cfg(), grid=(2, 2, 2))
+        out = np.zeros(sim.natoms, dtype=np.int32)
+        for rank in range(8):
+            atoms = restored.atoms_of(rank)
+            out[atoms.tag[: atoms.nlocal]] = atoms.type[: atoms.nlocal]
+        assert np.array_equal(out, types)
+
+    def test_default_config_from_file(self, tmp_path):
+        sim = fresh_sim()
+        sim.run(3)
+        ckpt = tmp_path / "d.npz"
+        save_checkpoint(sim, ckpt)
+        restored = load_checkpoint(
+            ckpt, LennardJones(cutoff=2.5), grid=(1, 1, 1)
+        )
+        assert restored.config.dt == pytest.approx(0.005)
+
+    def test_version_check(self, tmp_path):
+        sim = fresh_sim()
+        ckpt = tmp_path / "v.npz"
+        save_checkpoint(sim, ckpt)
+        # Tamper with the version field.
+        data = dict(np.load(ckpt))
+        data["version"] = np.int64(RESTART_VERSION + 1)
+        np.savez(ckpt, **data)
+        with pytest.raises(ValueError, match="version"):
+            load_checkpoint(ckpt, LennardJones(cutoff=2.5), grid=(1, 1, 1))

@@ -1,0 +1,103 @@
+"""Event-queue and resource primitives."""
+
+import pytest
+
+from repro.network import EventQueue, Resource
+
+
+class TestEventQueue:
+    def test_runs_in_time_order(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(3.0, lambda t: seen.append(("c", t)))
+        q.schedule(1.0, lambda t: seen.append(("a", t)))
+        q.schedule(2.0, lambda t: seen.append(("b", t)))
+        q.run()
+        assert [s[0] for s in seen] == ["a", "b", "c"]
+        assert q.now == 3.0
+        assert q.processed == 3
+
+    def test_stable_for_equal_times(self):
+        q = EventQueue()
+        seen = []
+        for i in range(5):
+            q.schedule(1.0, lambda t, i=i: seen.append(i))
+        q.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_schedule_in_past_raises(self):
+        q = EventQueue()
+        q.schedule(5.0, lambda t: q.schedule(1.0, lambda t2: None))
+        with pytest.raises(ValueError):
+            q.run()
+
+    def test_schedule_in_relative(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(2.0, lambda t: q.schedule_in(3.0, lambda t2: seen.append(t2)))
+        q.run()
+        assert seen == [5.0]
+
+    def test_negative_delay_rejected(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.schedule_in(-1.0, lambda t: None)
+
+    def test_run_until_stops_early(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(1.0, lambda t: seen.append(1))
+        q.schedule(10.0, lambda t: seen.append(10))
+        q.run(until=5.0)
+        assert seen == [1]
+        assert q.now == 5.0
+        assert len(q) == 1
+
+    def test_events_can_spawn_events(self):
+        q = EventQueue()
+        seen = []
+
+        def chain(t):
+            seen.append(t)
+            if t < 3:
+                q.schedule_in(1.0, chain)
+
+        q.schedule(1.0, chain)
+        q.run()
+        assert seen == [1.0, 2.0, 3.0]
+
+
+class TestResource:
+    def test_acquire_when_free_starts_at_ready(self):
+        r = Resource("tni")
+        start, end = r.acquire(ready=2.0, duration=1.0)
+        assert (start, end) == (2.0, 3.0)
+
+    def test_acquire_when_busy_queues(self):
+        r = Resource()
+        r.acquire(0.0, 5.0)
+        start, end = r.acquire(ready=1.0, duration=1.0)
+        assert (start, end) == (5.0, 6.0)
+
+    def test_busy_time_accumulates(self):
+        r = Resource()
+        r.acquire(0.0, 2.0)
+        r.acquire(0.0, 3.0)
+        assert r.busy_time == 5.0
+        assert r.grants == 2
+
+    def test_utilization(self):
+        r = Resource()
+        r.acquire(0.0, 5.0)
+        assert r.utilization(10.0) == pytest.approx(0.5)
+        assert r.utilization(0.0) == 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Resource().acquire(0.0, -1.0)
+
+    def test_reset(self):
+        r = Resource()
+        r.acquire(0.0, 2.0)
+        r.reset()
+        assert r.busy_until == 0.0 and r.busy_time == 0.0 and r.grants == 0

@@ -1,0 +1,71 @@
+"""Software-stack cost-model tests (MPI vs uTofu)."""
+
+import pytest
+
+from repro.machine import FUGAKU
+from repro.network import MpiStack, UtofuStack, stack_by_name
+
+
+@pytest.fixture
+def mpi():
+    return MpiStack()
+
+
+@pytest.fixture
+def utofu():
+    return UtofuStack()
+
+
+class TestInjection:
+    def test_utofu_injection_much_cheaper(self, mpi, utofu):
+        assert utofu.injection_interval(64) < mpi.injection_interval(64) / 8
+
+    def test_mpi_rendezvous_penalty(self, mpi):
+        small = mpi.injection_interval(1024)
+        large = mpi.injection_interval(FUGAKU.mpi_rendezvous_threshold + 1)
+        assert large > small + FUGAKU.mpi_rendezvous_extra / 2
+
+    def test_utofu_injection_flat_in_size(self, utofu):
+        assert utofu.injection_interval(8) == utofu.injection_interval(64 * 1024)
+
+
+class TestProtocolMessages:
+    def test_mpi_unknown_length_needs_two_messages(self, mpi):
+        """The overhead the paper's message-combine removes (3.5.1)."""
+        assert mpi.protocol_message_count(1024, known_length=False) == 2
+        assert mpi.protocol_message_count(1024, known_length=True) == 1
+
+    def test_utofu_always_single_message(self, utofu):
+        assert utofu.protocol_message_count(1024, known_length=False) == 1
+        assert utofu.protocol_message_count(1024, known_length=True) == 1
+
+
+class TestLatency:
+    def test_mpi_software_latency_heavier(self, mpi, utofu):
+        assert mpi.software_latency(64) > utofu.software_latency(64)
+
+    def test_cache_injection_reduces_latency(self):
+        with_ci = UtofuStack(cache_injection=True)
+        without = UtofuStack(cache_injection=False)
+        assert with_ci.software_latency(64) < without.software_latency(64)
+
+    def test_latency_never_negative(self):
+        params = FUGAKU.evolve(cache_injection_saving=1.0)  # absurdly large
+        s = UtofuStack(params=params)
+        assert s.software_latency(64) >= 0.0
+
+
+class TestPiggyback:
+    def test_only_utofu_supports_piggyback(self, mpi, utofu):
+        assert utofu.supports_piggyback()
+        assert not mpi.supports_piggyback()
+
+
+class TestFactory:
+    def test_by_name(self):
+        assert isinstance(stack_by_name("mpi"), MpiStack)
+        assert isinstance(stack_by_name("UTOFU"), UtofuStack)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            stack_by_name("verbs")

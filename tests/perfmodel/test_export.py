@@ -1,0 +1,59 @@
+"""CSV export tests."""
+
+import csv
+import io
+
+import pytest
+
+from repro.perfmodel import StageModel, strong_scaling, variant_by_name
+from repro.perfmodel.export import breakdown_to_csv, scaling_to_csv
+from repro.perfmodel.stagemodel import LJ_WORKLOAD_65K, Workload
+from repro.perfmodel.scaling import STRONG_LJ_ATOMS
+
+
+@pytest.fixture(scope="module")
+def points():
+    w = Workload("lj", "lj", STRONG_LJ_ATOMS, 0.8442, 2.8, 0.005, rebuild_every=20)
+    return strong_scaling(w, "opt", (768, 2160, 6144))
+
+
+class TestScalingCSV:
+    def test_row_per_point(self, points):
+        text = scaling_to_csv(points)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 3
+        assert [int(r["nodes"]) for r in rows] == [768, 2160, 6144]
+
+    def test_values_roundtrip(self, points):
+        rows = list(csv.DictReader(io.StringIO(scaling_to_csv(points))))
+        assert float(rows[0]["efficiency"]) == pytest.approx(1.0)
+        assert float(rows[0]["step_seconds"]) == pytest.approx(
+            points[0].step_time, rel=1e-6
+        )
+        stage_sum = sum(
+            float(rows[1][f"{s}_seconds"])
+            for s in ("pair", "neigh", "comm", "modify", "other")
+        )
+        assert stage_sum == pytest.approx(points[1].step_time, rel=1e-5)
+
+    def test_writes_file(self, points, tmp_path):
+        p = tmp_path / "scaling.csv"
+        scaling_to_csv(points, p)
+        assert p.read_text().startswith("nodes,")
+
+
+class TestBreakdownCSV:
+    def test_breakdown_rows(self):
+        model = StageModel()
+        results = [
+            model.step_times(LJ_WORKLOAD_65K, 768, variant_by_name(v))
+            for v in ("ref", "opt")
+        ]
+        rows = list(csv.DictReader(io.StringIO(breakdown_to_csv(results))))
+        assert [r["variant"] for r in rows] == ["ref", "opt"]
+        for r in rows:
+            pct = sum(
+                float(r[f"{s}_pct"])
+                for s in ("pair", "neigh", "comm", "modify", "other")
+            )
+            assert pct == pytest.approx(100.0, abs=0.05)

@@ -1,0 +1,107 @@
+"""Strong/weak scaling sweeps: Fig. 13 and Fig. 14 shape bands."""
+
+import pytest
+
+from repro.perfmodel import (
+    StageModel,
+    strong_scaling,
+    weak_scaling,
+    parallel_efficiency,
+    performance_per_day,
+)
+from repro.perfmodel.scaling import (
+    STRONG_EAM_ATOMS,
+    STRONG_LJ_ATOMS,
+    STRONG_SCALING_NODES,
+    WEAK_SCALING_NODES,
+    WEAK_LJ_ATOMS_PER_CORE,
+    weak_scaling_rate,
+)
+from repro.perfmodel.stagemodel import Workload
+
+
+def lj_strong():
+    return Workload("lj", "lj", STRONG_LJ_ATOMS, 0.8442, 2.8, 0.005, rebuild_every=20)
+
+
+def eam_strong():
+    return Workload(
+        "eam", "eam", STRONG_EAM_ATOMS, 0.0847, 5.95, 0.005,
+        rebuild_every=20, allreduce_every=5,
+    )
+
+
+class TestStrongScaling:
+    def test_node_sweep_matches_paper(self):
+        assert STRONG_SCALING_NODES == (768, 2160, 6144, 18432, 36864)
+
+    def test_step_time_decreases_with_nodes(self):
+        for v in ("ref", "opt"):
+            pts = strong_scaling(lj_strong(), v)
+            times = [p.step_time for p in pts]
+            assert all(a >= b for a, b in zip(times, times[1:]))
+
+    def test_lj_headline_speedup(self):
+        """Paper: 2.9x at 36 864 nodes."""
+        ref = strong_scaling(lj_strong(), "ref")[-1].step_time
+        opt = strong_scaling(lj_strong(), "opt")[-1].step_time
+        assert 2.2 <= ref / opt <= 3.8
+
+    def test_eam_headline_speedup(self):
+        """Paper: 2.2x at 36 864 nodes."""
+        ref = strong_scaling(eam_strong(), "ref")[-1].step_time
+        opt = strong_scaling(eam_strong(), "opt")[-1].step_time
+        assert 1.7 <= ref / opt <= 3.2
+
+    def test_speedup_grows_with_scale(self):
+        """The optimization matters more the fewer atoms per rank."""
+        ref = strong_scaling(lj_strong(), "ref")
+        opt = strong_scaling(lj_strong(), "opt")
+        gains = [r.step_time / o.step_time for r, o in zip(ref, opt)]
+        assert gains[-1] > gains[0]
+
+    def test_parallel_efficiency_decays(self):
+        pts = strong_scaling(lj_strong(), "opt")
+        eff = parallel_efficiency(pts)
+        assert eff[0] == pytest.approx(1.0)
+        assert all(a >= b for a, b in zip(eff, eff[1:]))
+        assert eff[-1] < 0.3  # 48x more nodes cannot stay efficient
+
+    def test_opt_efficiency_beats_ref(self):
+        """Fig. 13a: the optimized curve holds efficiency better."""
+        e_ref = parallel_efficiency(strong_scaling(lj_strong(), "ref"))
+        e_opt = parallel_efficiency(strong_scaling(lj_strong(), "opt"))
+        assert e_opt[-1] > e_ref[-1]
+
+    def test_performance_per_day_order_of_magnitude(self):
+        """Paper: 8.77 Mtau/day (LJ) and 2.87 us/day (EAM) at the last
+        point — we assert the order of magnitude."""
+        lj_pt = strong_scaling(lj_strong(), "opt")[-1]
+        tau_day = performance_per_day(lj_pt, dt=0.005)
+        assert 3e6 < tau_day < 40e6
+        eam_pt = strong_scaling(eam_strong(), "opt")[-1]
+        ps_day = performance_per_day(eam_pt, dt=0.005)
+        assert 1e6 < ps_day < 15e6  # 1-15 us/day in ps
+
+
+class TestWeakScaling:
+    def test_node_sweep_matches_paper(self):
+        assert WEAK_SCALING_NODES == (768, 2160, 6144, 20736)
+
+    def test_near_linear_rate(self):
+        """Fig. 14: atom-steps/second grows almost linearly with nodes."""
+        pts = weak_scaling(lj_strong(), "opt", WEAK_LJ_ATOMS_PER_CORE)
+        rates = weak_scaling_rate(pts)
+        for p0, pn, r0, rn in zip(pts, pts[1:], rates, rates[1:]):
+            ideal = pn.nodes / p0.nodes
+            assert rn / r0 > 0.85 * ideal
+
+    def test_paper_final_atom_counts(self):
+        """99 billion (LJ) atoms at 20 736 nodes."""
+        pts = weak_scaling(lj_strong(), "opt", WEAK_LJ_ATOMS_PER_CORE)
+        assert pts[-1].natoms == pytest.approx(99.5e9, rel=0.01)
+
+    def test_step_time_nearly_flat(self):
+        pts = weak_scaling(lj_strong(), "opt", WEAK_LJ_ATOMS_PER_CORE)
+        t = [p.step_time for p in pts]
+        assert max(t) / min(t) < 1.2

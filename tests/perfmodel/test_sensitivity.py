@@ -1,0 +1,53 @@
+"""Calibration-sensitivity tests: the story must not be a fit artifact."""
+
+import pytest
+
+from repro.machine import FUGAKU
+from repro.perfmodel.sensitivity import (
+    ESTIMATED_PARAMS,
+    evaluate_claims,
+    render,
+    sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return sweep(factors=(0.7, 1.0, 1.3))
+
+
+class TestBaseline:
+    def test_all_claims_hold_at_calibration(self):
+        claims = evaluate_claims(FUGAKU)
+        assert claims.all_hold, claims.failed()
+
+    def test_failed_lists_names(self):
+        from dataclasses import replace
+
+        claims = evaluate_claims(FUGAKU)
+        broken = replace(claims, mpi_p2p_loses=False)
+        assert broken.failed() == ["mpi_p2p_loses"]
+
+
+class TestRobustness:
+    def test_every_estimated_constant_covered(self, rows):
+        assert {r.name for r in rows} == set(ESTIMATED_PARAMS)
+
+    def test_claims_robust_to_30_percent(self, rows):
+        """+/-30% on any single estimated constant must not flip any
+        qualitative claim of the paper."""
+        for row in rows:
+            for factor, claims in row.results.items():
+                assert claims.all_hold, (
+                    f"{row.name} x{factor}: failed {claims.failed()}"
+                )
+
+    def test_robust_range_brackets_unity(self, rows):
+        for row in rows:
+            lo, hi = row.robust_range
+            assert lo <= 1.0 <= hi
+
+    def test_render(self, rows):
+        text = render(rows)
+        assert "Calibration sensitivity" in text
+        assert "mpi_t_inj" in text

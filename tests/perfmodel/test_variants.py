@@ -1,0 +1,44 @@
+"""Variant spec tests."""
+
+import pytest
+
+from repro.network import MpiStack, UtofuStack
+from repro.perfmodel import VARIANTS, variant_by_name
+
+
+class TestVariantTable:
+    def test_artifact_variants_present(self):
+        """The five projects of the paper's artifact appendix."""
+        for name in ("ref", "utofu_3stage", "4tni_p2p", "6tni_p2p", "opt"):
+            assert name in VARIANTS
+
+    def test_ref_is_mpi_3stage_openmp(self):
+        v = variant_by_name("ref")
+        assert isinstance(v.stack(), MpiStack)
+        assert v.pattern == "3stage"
+        assert not v.threadpool_compute
+        assert v.comm_threads == 1
+
+    def test_opt_is_the_full_stack(self):
+        v = variant_by_name("opt")
+        assert isinstance(v.stack(), UtofuStack)
+        assert v.pattern == "p2p"
+        assert v.comm_threads == 6
+        assert v.tnis_used == 6
+        assert v.threadpool_compute
+        assert v.rdma_preregistered
+        assert v.message_combine
+        assert v.border_bins
+
+    def test_6tni_single_thread(self):
+        v = variant_by_name("6tni_p2p")
+        assert v.comm_threads == 1
+        assert v.tnis_used == 6
+
+    def test_is_parallel_comm(self):
+        assert variant_by_name("opt").is_parallel_comm
+        assert not variant_by_name("4tni_p2p").is_parallel_comm
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError):
+            variant_by_name("gpu")

@@ -1,0 +1,153 @@
+"""Property-based tests: ghost geometry, torus metric, pattern algebra."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    full_shell_volume,
+    half_shell_volume,
+    offset_volume,
+    stage_volumes,
+)
+from repro.core.patterns import (
+    half_shell_offsets,
+    lex_positive,
+    offset_hops,
+    shell_offsets,
+)
+from repro.machine import TofuTopology
+
+side = st.floats(min_value=0.1, max_value=100.0, allow_nan=False)
+cutoff = st.floats(min_value=0.01, max_value=50.0, allow_nan=False)
+
+
+class TestGhostVolumeProperties:
+    @given(a=side, r=cutoff)
+    def test_half_is_always_half(self, a, r):
+        assert half_shell_volume(a, r) == pytest.approx(full_shell_volume(a, r) / 2)
+
+    @given(a=side, r=cutoff)
+    def test_full_shell_is_slab_minus_box(self, a, r):
+        assert full_shell_volume(a, r) == pytest.approx(
+            (a + 2 * r) ** 3 - a**3, rel=1e-9
+        )
+
+    @given(a=side, r=cutoff)
+    def test_stages_sum_to_half_shell_each_direction(self, a, r):
+        assert 2 * sum(stage_volumes(a, r)) == pytest.approx(
+            full_shell_volume(a, r), rel=1e-9
+        )
+
+    @given(a=side, r=cutoff)
+    def test_offsets_partition_shell(self, a, r):
+        total = sum(offset_volume(a, r, o) for o in shell_offsets(1))
+        # offset_volume caps the depth at a, so this equals the shell only
+        # when r <= a; in general it is <= the shell volume.
+        if r <= a:
+            assert total == pytest.approx(full_shell_volume(a, r), rel=1e-9)
+        else:
+            assert total <= full_shell_volume(a, r) + 1e-9
+
+    @given(a=side, r=cutoff)
+    def test_monotone_in_cutoff(self, a, r):
+        assert full_shell_volume(a, r * 1.5) > full_shell_volume(a, r)
+
+    @given(
+        a=side,
+        r=cutoff,
+        o=st.tuples(
+            st.integers(-2, 2), st.integers(-2, 2), st.integers(-2, 2)
+        ).filter(lambda t: t != (0, 0, 0)),
+    )
+    def test_offset_volume_symmetric_under_negation(self, a, r, o):
+        assert offset_volume(a, r, o) == pytest.approx(
+            offset_volume(a, r, tuple(-v for v in o))
+        )
+
+
+class TestPatternAlgebra:
+    @given(radius=st.integers(1, 4))
+    def test_shell_counts(self, radius):
+        n = (2 * radius + 1) ** 3 - 1
+        assert len(shell_offsets(radius)) == n
+        assert len(half_shell_offsets(radius)) == n // 2
+
+    @given(radius=st.integers(1, 3))
+    def test_half_shell_partition(self, radius):
+        """Each offset is in exactly one of: half shell, its mirror."""
+        half = set(half_shell_offsets(radius))
+        for o in shell_offsets(radius):
+            mirror = tuple(-v for v in o)
+            assert (o in half) != (mirror in half)
+
+    @given(
+        o=st.tuples(st.integers(-3, 3), st.integers(-3, 3), st.integers(-3, 3)).filter(
+            lambda t: t != (0, 0, 0)
+        )
+    )
+    def test_lex_antisymmetry(self, o):
+        assert lex_positive(o) != lex_positive(tuple(-v for v in o))
+
+    @given(
+        o=st.tuples(st.integers(-3, 3), st.integers(-3, 3), st.integers(-3, 3))
+    )
+    def test_hops_nonnegative_l1(self, o):
+        assert offset_hops(o) == abs(o[0]) + abs(o[1]) + abs(o[2])
+
+
+coords = st.integers(0, 100)
+
+
+class TestTorusMetric:
+    @settings(max_examples=50)
+    @given(a=st.integers(0, 47), b=st.integers(0, 47), c=st.integers(0, 47))
+    def test_metric_axioms(self, a, b, c):
+        topo = TofuTopology((2, 2, 1))
+        ca, cb, cc = topo.coord_of(a), topo.coord_of(b), topo.coord_of(c)
+        # identity, symmetry, triangle inequality
+        assert topo.hops(ca, ca) == 0
+        assert topo.hops(ca, cb) == topo.hops(cb, ca)
+        assert topo.hops(ca, cc) <= topo.hops(ca, cb) + topo.hops(cb, cc)
+        if a != b:
+            assert topo.hops(ca, cb) >= 1
+
+    @settings(max_examples=30)
+    @given(idx=st.integers(0, 47))
+    def test_virtual_fold_roundtrip(self, idx):
+        topo = TofuTopology((2, 2, 1))
+        c = topo.coord_of(idx)
+        assert topo.coord_for_virtual(topo.virtual_of(c)) == c
+
+    @settings(max_examples=30)
+    @given(idx=st.integers(0, 143))
+    def test_index_roundtrip(self, idx):
+        topo = TofuTopology((3, 2, 2))
+        assert topo.node_index(topo.coord_of(idx)) == idx
+
+
+class TestBorderMaskProperties:
+    @settings(max_examples=25)
+    @given(
+        rcomm=st.floats(0.2, 4.9),
+        seed=st.integers(0, 1000),
+    )
+    def test_mask_equals_explicit_region_test(self, rcomm, seed):
+        from repro.md.region import SubBox
+
+        sub = SubBox((0, 0, 0), (10, 10, 10), (1, 1, 1), (3, 3, 3))
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(0, 10, size=(50, 3))
+        for off in [(1, 0, 0), (0, -1, 0), (1, 1, -1)]:
+            mask = sub.border_mask(x, off, rcomm)
+            for point, m in zip(x, mask):
+                expect = True
+                for k, o in enumerate(off):
+                    if o > 0:
+                        expect &= point[k] >= 10 - rcomm
+                    elif o < 0:
+                        expect &= point[k] < rcomm
+                assert m == expect

@@ -1,0 +1,95 @@
+"""Property-based tests of the network simulator's cost model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import FUGAKU
+from repro.network import Message, NetworkSimulator, MpiStack, UtofuStack, simulate_round
+
+sizes = st.lists(st.integers(8, 64 * 1024), min_size=1, max_size=20)
+stacks = st.sampled_from([UtofuStack(), MpiStack()])
+
+
+class TestMonotonicity:
+    @settings(max_examples=30)
+    @given(nbytes=st.integers(8, 32 * 1024), stack=stacks)
+    def test_bigger_message_never_faster(self, nbytes, stack):
+        sim = NetworkSimulator(stack)
+        t1 = sim.point_to_point_time(nbytes, 1)
+        t2 = sim.point_to_point_time(nbytes * 2, 1)
+        assert t2 >= t1
+
+    @settings(max_examples=30)
+    @given(nbytes=st.integers(8, 4096), hops=st.integers(0, 6), stack=stacks)
+    def test_more_hops_never_faster(self, nbytes, hops, stack):
+        sim = NetworkSimulator(stack)
+        assert sim.point_to_point_time(nbytes, hops + 1) >= sim.point_to_point_time(
+            nbytes, hops
+        )
+
+    @settings(max_examples=25)
+    @given(msg_sizes=sizes, stack=stacks)
+    def test_adding_messages_never_faster(self, msg_sizes, stack):
+        sim = NetworkSimulator(stack)
+        msgs = [Message(n) for n in msg_sizes]
+        t_all = sim.run_round(msgs).completion_time
+        t_fewer = sim.run_round(msgs[:-1]).completion_time
+        assert t_all >= t_fewer
+
+    @settings(max_examples=25)
+    @given(msg_sizes=sizes)
+    def test_staging_never_faster_than_one_round(self, msg_sizes):
+        """Barriers only add: splitting a round into stages costs >= the
+        bulk round with the same serial thread."""
+        sim = NetworkSimulator(UtofuStack())
+        msgs = [Message(n) for n in msg_sizes]
+        bulk = sim.run_round(msgs).completion_time
+        staged = sim.run_staged([[m] for m in msgs]).completion_time
+        assert staged >= bulk * 0.999
+
+    @settings(max_examples=25)
+    @given(msg_sizes=sizes)
+    def test_parallel_threads_never_slower(self, msg_sizes):
+        """Spreading messages over distinct (thread, TNI) pairs cannot
+        lose to injecting them all from one thread."""
+        sim = NetworkSimulator(UtofuStack())
+        serial = sim.run_round([Message(n) for n in msg_sizes]).completion_time
+        spread = sim.run_round(
+            [Message(n, thread=i % 6, tni=i % 6) for i, n in enumerate(msg_sizes)]
+        ).completion_time
+        assert spread <= serial * 1.001
+
+
+class TestAccounting:
+    @settings(max_examples=25)
+    @given(msg_sizes=sizes, known=st.booleans())
+    def test_wire_message_count(self, msg_sizes, known):
+        stack = MpiStack()
+        res = simulate_round([Message(n, known_length=known) for n in msg_sizes], stack)
+        expected = len(msg_sizes) * (1 if known else 2)
+        assert res.wire_messages == expected
+
+    @settings(max_examples=25)
+    @given(msg_sizes=sizes)
+    def test_arrivals_after_injection_start(self, msg_sizes):
+        res = simulate_round([Message(n) for n in msg_sizes], UtofuStack())
+        assert all(a > 0 for a in res.arrivals)
+        assert res.completion_time == max(res.arrivals)
+
+    @settings(max_examples=20)
+    @given(msg_sizes=sizes, start=st.floats(0.0, 1e-3))
+    def test_start_time_shifts_results(self, msg_sizes, start):
+        msgs = [Message(n) for n in msg_sizes]
+        base = simulate_round(msgs, UtofuStack())
+        shifted = simulate_round(msgs, UtofuStack(), start_time=start)
+        assert shifted.completion_time == pytest.approx(
+            base.completion_time + start, abs=1e-12
+        )
+
+    @settings(max_examples=20)
+    @given(nbytes=st.integers(8, 65536))
+    def test_wire_time_floor(self, nbytes):
+        """No message completes faster than pure hardware limits."""
+        t = NetworkSimulator(UtofuStack()).point_to_point_time(nbytes, 1)
+        assert t >= FUGAKU.rdma_put_latency + nbytes / FUGAKU.link_bandwidth

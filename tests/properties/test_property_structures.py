@@ -1,0 +1,164 @@
+"""Property-based tests: neighbor lists, message combine, load balancing,
+ring buffers, transport."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import combine, split, write_into
+from repro.machine import RdmaEngine
+from repro.core.rdma_buffers import BufferOverwriteError, RecvBufferRing
+from repro.md.neighbor import build_pairs, build_pairs_bruteforce
+from repro.runtime.threadpool import WorkItem, makespan, split_load
+
+
+class TestNeighborListProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(2, 120),
+        frac=st.floats(0.3, 1.0),
+        cutoff=st.floats(0.3, 4.0),
+        seed=st.integers(0, 10_000),
+    )
+    def test_binned_equals_bruteforce(self, n, frac, cutoff, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(0, 6, size=(n, 3))
+        nlocal = max(1, int(n * frac))
+        for half in (True, False):
+            got = set(zip(*map(tuple, build_pairs(x, nlocal, cutoff, half=half))))
+            want = set(
+                zip(*map(tuple, build_pairs_bruteforce(x, nlocal, cutoff, half=half)))
+            )
+            assert got == want
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(2, 100), seed=st.integers(0, 10_000))
+    def test_half_list_covers_each_close_pair_once(self, n, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(0, 5, size=(n, 3))
+        i, j = build_pairs(x, n, 1.5, half=True)
+        seen = set()
+        for a, b in zip(i, j):
+            key = (min(a, b), max(a, b))
+            assert key not in seen
+            seen.add(key)
+        # every close pair present
+        iu, ju = np.triu_indices(n, k=1)
+        d = x[iu] - x[ju]
+        close = np.einsum("ij,ij->i", d, d) < 1.5**2
+        assert seen == {(int(a), int(b)) for a, b in zip(iu[close], ju[close])}
+
+
+class TestMessageCombineProperties:
+    @given(
+        payload=arrays(
+            np.float64,
+            st.integers(0, 200),
+            elements=st.floats(-1e12, 1e12, allow_nan=False),
+        )
+    )
+    def test_roundtrip(self, payload):
+        assert np.array_equal(split(combine(payload)), payload)
+
+    @given(
+        payload=arrays(
+            np.float64,
+            st.integers(0, 50),
+            elements=st.floats(-1e6, 1e6, allow_nan=False),
+        ),
+        slack=st.integers(1, 64),
+    )
+    def test_write_into_oversized_buffer(self, payload, slack):
+        buf = np.full(payload.size + 1 + slack, np.nan)
+        write_into(buf, payload)
+        assert np.array_equal(split(buf), payload)
+
+    @given(rows=st.integers(0, 40))
+    def test_shaped_roundtrip(self, rows):
+        payload = np.arange(rows * 3, dtype=float).reshape(rows, 3)
+        out = split(combine(payload), trailing_shape=(3,))
+        assert np.array_equal(out, payload)
+
+
+class TestLoadBalanceProperties:
+    costs = st.lists(st.floats(0.0, 100.0), min_size=1, max_size=40)
+
+    @given(costs=costs, threads=st.integers(1, 8))
+    def test_partition_complete_and_disjoint(self, costs, threads):
+        items = [WorkItem(k, c) for k, c in enumerate(costs)]
+        bins = split_load(items, threads)
+        seen = sorted(w.payload for b in bins for w in b)
+        assert seen == list(range(len(costs)))
+
+    @given(costs=costs, threads=st.integers(1, 8))
+    def test_greedy_bound(self, costs, threads):
+        """List-scheduling guarantee: makespan <= mean + (1-1/m) * max."""
+        items = [WorkItem(k, c) for k, c in enumerate(costs)]
+        ms = makespan(split_load(items, threads))
+        bound = sum(costs) / threads + (1 - 1 / threads) * max(costs)
+        assert ms <= bound + 1e-9
+        assert ms >= max(sum(costs) / threads, max(costs)) - 1e-9  # lower bound
+
+    @given(costs=costs)
+    def test_single_thread_gets_everything(self, costs):
+        items = [WorkItem(k, c) for k, c in enumerate(costs)]
+        bins = split_load(items, 1)
+        assert makespan(bins) == pytest.approx(sum(costs))
+
+
+class TestRingProperties:
+    @settings(max_examples=20)
+    @given(depth=st.integers(1, 8), ops=st.integers(1, 40))
+    def test_ring_never_corrupts_fifo(self, depth, ops):
+        """Arbitrary interleaving of (write, consume) that never exceeds
+        `depth` outstanding keeps FIFO order."""
+        engine = RdmaEngine()
+        ring = RecvBufferRing(engine, 0, capacity_elems=4, depth=depth)
+        written, read = [], []
+        counter = 0
+        rng = np.random.default_rng(depth * 1000 + ops)
+        for _ in range(ops):
+            if ring.outstanding() < depth and (
+                ring.outstanding() == 0 or rng.random() < 0.5
+            ):
+                _, region = ring.acquire_for_write()
+                region.data[0] = counter
+                written.append(counter)
+                counter += 1
+            else:
+                read.append(int(ring.consume()[0]))
+        while ring.outstanding():
+            read.append(int(ring.consume()[0]))
+        assert read == written
+
+    @given(depth=st.integers(1, 6))
+    def test_overflow_always_detected(self, depth):
+        engine = RdmaEngine()
+        ring = RecvBufferRing(engine, 0, capacity_elems=4, depth=depth)
+        for _ in range(depth):
+            ring.acquire_for_write()
+        with pytest.raises(BufferOverwriteError):
+            ring.acquire_for_write()
+
+
+class TestTransportProperties:
+    @settings(max_examples=20)
+    @given(
+        msgs=st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(0, 5)),
+            max_size=40,
+        )
+    )
+    def test_every_send_is_received_exactly_once(self, msgs):
+        from repro.runtime import Transport
+
+        t = Transport(4)
+        for k, (src, dst, tag) in enumerate(msgs):
+            t.send(src, dst, tag, k)
+        received = []
+        for src, dst, tag in msgs:
+            received.append(t.recv(dst, src, tag))
+        assert sorted(received) == list(range(len(msgs)))
+        t.assert_drained()

@@ -1,0 +1,63 @@
+"""Collective functional results and cost-model sanity."""
+
+import numpy as np
+import pytest
+
+from repro.network import MpiStack, UtofuStack
+from repro.runtime import allreduce, allreduce_cost, barrier_cost, broadcast_cost
+
+
+class TestFunctionalAllreduce:
+    def test_sum_default(self):
+        assert allreduce([1.0, 2.0, 3.0]) == 6.0
+
+    def test_array_sum(self):
+        out = allreduce([np.ones(3), 2 * np.ones(3)])
+        assert np.array_equal(out, 3 * np.ones(3))
+
+    def test_custom_op_any(self):
+        """The EAM rebuild check: a logical OR over rank flags."""
+        assert allreduce([False, False, True], op=any) is True
+        assert allreduce([False, False], op=any) is False
+
+    def test_custom_op_max(self):
+        assert allreduce([3, 9, 1], op=max) == 9
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            allreduce([])
+
+
+class TestCostModel:
+    def test_single_rank_free(self):
+        assert allreduce_cost(1) == 0.0
+
+    def test_log_scaling(self):
+        # Doubling ranks adds about one round, far from doubling the cost.
+        t1k = allreduce_cost(1024)
+        t2k = allreduce_cost(2048)
+        assert t1k < t2k < 1.35 * t1k
+
+    def test_scale_of_fugaku_allreduce(self):
+        """At 147 456 ranks (36 864 nodes) the allreduce is tens of us —
+        the Table 3 'Other' driver for EAM."""
+        t = allreduce_cost(147_456)
+        assert 20e-6 < t < 1e-3
+
+    def test_utofu_cheaper_than_mpi(self):
+        assert allreduce_cost(4096, stack=UtofuStack()) < allreduce_cost(
+            4096, stack=MpiStack()
+        )
+
+    def test_invalid_world_size(self):
+        with pytest.raises(ValueError):
+            allreduce_cost(0)
+
+    def test_barrier_is_token_allreduce(self):
+        assert barrier_cost(256) == pytest.approx(allreduce_cost(256, nbytes=8))
+
+    def test_broadcast_grows_with_size_and_ranks(self):
+        small = broadcast_cost(64, 1024)
+        assert broadcast_cost(64, 1024 * 1024) > small
+        assert broadcast_cost(1024, 1024) > small
+        assert broadcast_cost(1, 1024) == 0.0

@@ -1,0 +1,108 @@
+"""Mailbox transport and traffic-log tests."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import Transport
+from repro.runtime.transport import TransportError
+
+
+@pytest.fixture
+def t():
+    return Transport(4)
+
+
+class TestSendRecv:
+    def test_roundtrip(self, t):
+        t.send(0, 1, "x", 42)
+        assert t.recv(1, 0, "x") == 42
+
+    def test_fifo_per_tag(self, t):
+        t.send(0, 1, "x", "first")
+        t.send(0, 1, "x", "second")
+        assert t.recv(1, 0, "x") == "first"
+        assert t.recv(1, 0, "x") == "second"
+
+    def test_tags_isolate(self, t):
+        t.send(0, 1, "a", 1)
+        t.send(0, 1, "b", 2)
+        assert t.recv(1, 0, "b") == 2
+        assert t.recv(1, 0, "a") == 1
+
+    def test_self_send_allowed(self, t):
+        """Periodic wrap on 1-wide grids sends to oneself."""
+        t.send(2, 2, "wrap", 7)
+        assert t.recv(2, 2, "wrap") == 7
+
+    def test_missing_message_raises(self, t):
+        with pytest.raises(TransportError):
+            t.recv(1, 0, "nope")
+
+    def test_try_recv_returns_none(self, t):
+        assert t.try_recv(1, 0, "nope") is None
+
+    def test_rank_bounds_checked(self, t):
+        with pytest.raises(TransportError):
+            t.send(0, 4, "x", 1)
+        with pytest.raises(TransportError):
+            t.recv(-1, 0, "x")
+
+    def test_invalid_world_size(self):
+        with pytest.raises(ValueError):
+            Transport(0)
+
+
+class TestDrainCheck:
+    def test_assert_drained_ok_when_empty(self, t):
+        t.send(0, 1, "x", 1)
+        t.recv(1, 0, "x")
+        t.assert_drained()  # should not raise
+
+    def test_assert_drained_catches_leftovers(self, t):
+        t.send(0, 1, "x", 1)
+        with pytest.raises(TransportError):
+            t.assert_drained()
+
+    def test_pending_count(self, t):
+        t.send(0, 1, "x", 1)
+        t.send(0, 2, "y", 2)
+        assert t.pending_count() == 2
+
+
+class TestTrafficLog:
+    def test_bytes_of_ndarray(self, t):
+        t.send(0, 1, "x", np.zeros((10, 3)))
+        assert t.log.total_bytes() == 240
+
+    def test_bytes_of_tuple_payload(self, t):
+        t.send(0, 1, "x", (np.zeros(5), np.zeros(3)))
+        assert t.log.total_bytes() == 64
+
+    def test_bytes_of_scalar(self, t):
+        t.send(0, 1, "x", 3.14)
+        assert t.log.total_bytes() == 8
+
+    def test_phase_labels(self, t):
+        t.set_phase("border")
+        t.send(0, 1, "x", 1.0)
+        t.set_phase("forward")
+        t.send(0, 1, "y", 2.0)
+        assert t.log.count("border") == 1
+        assert t.log.count("forward") == 1
+        assert t.log.count() == 2
+
+    def test_count_by_rank(self, t):
+        t.send(0, 1, "a", 1.0)
+        t.send(0, 2, "b", 1.0)
+        t.send(3, 2, "c", 1.0)
+        assert t.log.count_by_rank() == {0: 2, 3: 1}
+
+    def test_pairs(self, t):
+        t.send(0, 1, "a", 1.0)
+        t.send(1, 0, "b", 1.0)
+        assert t.log.pairs() == {(0, 1), (1, 0)}
+
+    def test_clear(self, t):
+        t.send(0, 1, "a", 1.0)
+        t.log.clear()
+        assert t.log.count() == 0

@@ -1,0 +1,84 @@
+"""World / rank-grid arithmetic tests."""
+
+import pytest
+
+from repro.runtime import World
+
+
+class TestConstruction:
+    def test_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            World(0)
+
+    def test_grid_must_multiply_to_size(self):
+        with pytest.raises(ValueError):
+            World(8, grid=(2, 2, 3))
+
+    def test_rank_contexts_created(self):
+        w = World(6, grid=(3, 2, 1))
+        assert len(w.ranks) == 6
+        assert w.ranks[4].rank == 4
+
+
+class TestGridArithmetic:
+    def test_x_fastest_ordering(self):
+        w = World(24, grid=(2, 3, 4))
+        assert w.grid_pos_of(0) == (0, 0, 0)
+        assert w.grid_pos_of(1) == (1, 0, 0)
+        assert w.grid_pos_of(2) == (0, 1, 0)
+        assert w.grid_pos_of(6) == (0, 0, 1)
+
+    def test_roundtrip(self):
+        w = World(24, grid=(2, 3, 4))
+        for r in range(24):
+            assert w.rank_at(w.grid_pos_of(r)) == r
+
+    def test_periodic_wrap(self):
+        w = World(8, grid=(2, 2, 2))
+        assert w.rank_at((2, 0, 0)) == w.rank_at((0, 0, 0))
+        assert w.rank_at((-1, 0, 0)) == w.rank_at((1, 0, 0))
+
+    def test_neighbor_rank(self):
+        w = World(27, grid=(3, 3, 3))
+        assert w.neighbor_rank(0, (1, 0, 0)) == 1
+        assert w.neighbor_rank(0, (-1, 0, 0)) == 2  # wraps
+        assert w.neighbor_rank(13, (0, 0, 0)) == 13
+
+    def test_grid_pos_without_grid_raises(self):
+        w = World(4)
+        with pytest.raises(ValueError):
+            w.grid_pos_of(0)
+
+    def test_ctx_positions_populated(self):
+        w = World(8, grid=(2, 2, 2))
+        assert w.ranks[7].grid_pos == (1, 1, 1)
+
+
+class TestPhases:
+    def test_run_phase_visits_all_ranks(self):
+        w = World(5, grid=(5, 1, 1))
+        visited = []
+        w.run_phase("test", lambda ctx: visited.append(ctx.rank))
+        assert visited == list(range(5))
+
+    def test_run_phase_labels_traffic(self):
+        w = World(2, grid=(2, 1, 1))
+        w.run_phase("hello", lambda ctx: ctx.send(1 - ctx.rank, "t", ctx.rank))
+        assert w.transport.log.count("hello") == 2
+
+    def test_run_exchange_send_then_recv(self):
+        w = World(3, grid=(3, 1, 1))
+        received = {}
+
+        def send(ctx):
+            ctx.send((ctx.rank + 1) % 3, "ring", ctx.rank)
+
+        def recv(ctx):
+            received[ctx.rank] = ctx.recv((ctx.rank - 1) % 3, "ring")
+
+        w.run_exchange("ring", send, recv)
+        assert received == {0: 2, 1: 0, 2: 1}
+
+    def test_ctx_try_recv(self):
+        w = World(2, grid=(2, 1, 1))
+        assert w.ranks[0].try_recv(1, "none") is None

@@ -1,0 +1,38 @@
+"""Built-in self-check battery."""
+
+import pytest
+
+from repro.selfcheck import run_selfcheck
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_selfcheck(cells=(4, 4, 4), steps=10)
+
+
+class TestSelfCheck:
+    def test_all_checks_pass(self, report):
+        failing = [c.name for c in report.checks if not c.passed]
+        assert report.ok, f"failing checks: {failing}"
+
+    def test_covers_every_variant(self, report):
+        names = " ".join(c.name for c in report.checks)
+        for label in ("3stage", "p2p", "p2p+rdma", "parallel-p2p+rdma"):
+            assert label in names
+
+    def test_covers_table1_claims(self, report):
+        names = [c.name for c in report.checks]
+        assert any("Table 1" in n for n in names)
+        assert any("Newton" in n for n in names)
+
+    def test_render_readable(self, report):
+        text = report.render()
+        assert "PASS" in text
+        assert f"{len(report.checks)}/{len(report.checks)} checks passed" in text
+
+    def test_cli_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["--selfcheck"]) == 0
+        out = capsys.readouterr().out
+        assert "self-check" in out
