@@ -59,6 +59,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--selfcheck", action="store_true",
         help="run the built-in cross-validation battery and exit",
     )
+    p.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record a span/event trace and write it as Chrome trace-event "
+        "JSON (open in Perfetto: https://ui.perfetto.dev)",
+    )
+    p.add_argument(
+        "--metrics", action="store_true",
+        help="collect and print counters/histograms (message sizes, hops, "
+        "RDMA registrations, TNI busy time, ...)",
+    )
     return p
 
 
@@ -90,6 +100,24 @@ def main(argv=None) -> int:
         report = run_selfcheck()
         print(report.render())
         return 0 if report.ok else 1
+    if args.trace is not None:
+        from repro.obs.trace import TRACER
+
+        try:
+            # Fail fast: discover an unwritable path before the run, not
+            # after it has already burned the simulation time.
+            with open(args.trace, "w", encoding="utf-8"):
+                pass
+        except OSError as exc:
+            print(f"error: cannot write trace file {args.trace!r}: {exc}")
+            return 2
+        TRACER.reset()
+        TRACER.enabled = True
+    if args.metrics:
+        from repro.obs.metrics import METRICS
+
+        METRICS.reset()
+        METRICS.enabled = True
     if args.input:
         from repro.md.inputscript import InputScript
 
@@ -114,6 +142,31 @@ def main(argv=None) -> int:
     if sim.samples[-1].step != sim.step_count:
         sim.samples.append(sim.sample_thermo())
     print(format_run_summary(sim))
+    if args.trace is not None:
+        from repro.obs.export import write_chrome_trace
+        from repro.obs.report import render_phase_table, render_stage_table
+        from repro.obs.trace import TRACER
+
+        doc = write_chrome_trace(args.trace)
+        print()
+        print(render_stage_table(TRACER, "wall"))
+        if sim.config.model_machine_time:
+            print()
+            print(render_stage_table(TRACER, "model"))
+        print()
+        print(render_phase_table(TRACER))
+        print()
+        print(
+            f"# trace: {len(doc['traceEvents'])} events -> {args.trace} "
+            "(open in https://ui.perfetto.dev)"
+        )
+        TRACER.enabled = False
+    if args.metrics:
+        from repro.obs.metrics import METRICS
+
+        print()
+        print(METRICS.render())
+        METRICS.enabled = False
     return 0
 
 

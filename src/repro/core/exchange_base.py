@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.md.atoms import Atoms
 from repro.md.domain import Domain
+from repro.obs.trace import TRACER
 from repro.runtime.world import RankContext, World
 
 
@@ -130,29 +131,39 @@ class GhostExchange:
         """Rebuild ghost sets and routes on every rank (border stage)."""
         raise NotImplementedError
 
+    def _phase_span(self, phase: str):
+        """Trace span wrapping one communication phase of this pattern."""
+        return TRACER.span(
+            f"{self.name}.{phase}", cat="comm", track="comm", pattern=self.name, phase=phase
+        )
+
     # -- generic forward/reverse -------------------------------------------------
     def forward(self) -> None:
         """Send owned positions to every ghost copy (forward stage)."""
-        self._forward_array(
-            {r: self.atoms_of(r).x for r in range(self.world.size)},
-            apply_shift=True,
-            phase="forward",
-        )
+        with self._phase_span("forward"):
+            self._forward_array(
+                {r: self.atoms_of(r).x for r in range(self.world.size)},
+                apply_shift=True,
+                phase="forward",
+            )
 
     def reverse(self) -> None:
         """Accumulate ghost forces back onto owners (reverse stage)."""
-        self._reverse_sum_array(
-            {r: self.atoms_of(r).f for r in range(self.world.size)},
-            phase="reverse",
-        )
+        with self._phase_span("reverse"):
+            self._reverse_sum_array(
+                {r: self.atoms_of(r).f for r in range(self.world.size)},
+                phase="reverse",
+            )
 
     def forward_scalar_world(self, arrays: dict[int, np.ndarray]) -> None:
         """Owner -> ghost broadcast of one scalar per atom (EAM fp)."""
-        self._forward_array(arrays, apply_shift=False, phase="pair-forward")
+        with self._phase_span("pair-forward"):
+            self._forward_array(arrays, apply_shift=False, phase="pair-forward")
 
     def reverse_sum_scalar_world(self, arrays: dict[int, np.ndarray]) -> None:
         """Ghost -> owner sum of one scalar per atom (EAM density)."""
-        self._reverse_sum_array(arrays, phase="pair-reverse")
+        with self._phase_span("pair-reverse"):
+            self._reverse_sum_array(arrays, phase="pair-reverse")
 
     # Subclasses may override for staged execution or RDMA data planes.
     def _forward_array(
@@ -197,6 +208,10 @@ class GhostExchange:
         Runs with ghosts cleared (LAMMPS order: exchange -> borders).
         Positions are wrapped into the global box first.
         """
+        with self._phase_span("exchange"):
+            self._exchange_impl()
+
+    def _exchange_impl(self) -> None:
         world = self.world
         transport = world.transport
         transport.set_phase("exchange")

@@ -26,6 +26,8 @@ from repro.core.p2p import P2PExchange
 from repro.machine.params import FUGAKU, MachineParams
 from repro.network.simulator import Message
 from repro.network.stacks import SoftwareStack, UtofuStack
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACER
 from repro.runtime.threadpool import ThreadPoolModel, WorkItem, split_load
 
 
@@ -86,28 +88,40 @@ class FineGrainedP2PExchange(P2PExchange):
         Fig. 7), so the TNI index equals the thread index.
         """
         routes = self.routes[rank].sends
-        items = [
-            WorkItem(
-                payload=n_idx,
-                cost=self.message_cost(route.count * bytes_per_atom, route.hops),
-            )
-            for n_idx, route in enumerate(routes)
-        ]
-        bins = split_load(items, self.n_comm_threads)
-        out = []
-        for thread, bucket in enumerate(bins):
-            for item in bucket:
-                n_idx = item.payload
-                route = routes[n_idx]
-                out.append(
-                    ThreadAssignment(
-                        neighbor_index=n_idx,
-                        nbytes=route.count * bytes_per_atom,
-                        hops=route.hops,
-                        thread=thread,
-                        tni=thread,
-                    )
+        with TRACER.span(
+            f"{self.name}.schedule", cat="schedule", track="comm",
+            rank=rank, n_messages=len(routes),
+        ):
+            items = [
+                WorkItem(
+                    payload=n_idx,
+                    cost=self.message_cost(route.count * bytes_per_atom, route.hops),
                 )
+                for n_idx, route in enumerate(routes)
+            ]
+            bins = split_load(items, self.n_comm_threads)
+            out = []
+            for thread, bucket in enumerate(bins):
+                for item in bucket:
+                    n_idx = item.payload
+                    route = routes[n_idx]
+                    out.append(
+                        ThreadAssignment(
+                            neighbor_index=n_idx,
+                            nbytes=route.count * bytes_per_atom,
+                            hops=route.hops,
+                            thread=thread,
+                            tni=thread,
+                        )
+                    )
+        if METRICS.enabled:
+            METRICS.counter("comm_schedules_total").inc()
+            loads = [0.0] * self.n_comm_threads
+            for a in out:
+                loads[a.thread] += self.message_cost(a.nbytes, a.hops)
+            mean = sum(loads) / len(loads)
+            if mean > 0:
+                METRICS.gauge("comm_thread_balance").set(max(loads) / mean)
         return out
 
     def comm_schedule(self, rank: int, bytes_per_atom: int = 24) -> list[Message]:

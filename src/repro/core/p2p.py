@@ -41,6 +41,7 @@ from repro.core.patterns import (
 from repro.core.rdma_buffers import RdmaEndpoint
 from repro.machine.rdma import RdmaEngine
 from repro.md.domain import Domain
+from repro.obs.trace import TRACER
 from repro.runtime.world import World
 
 
@@ -132,6 +133,10 @@ class P2PExchange(GhostExchange):
     # -- border stage ----------------------------------------------------------------
     def borders(self) -> None:
         """Direct border exchange with every shell neighbor."""
+        with self._phase_span("border"):
+            self._borders_impl()
+
+    def _borders_impl(self) -> None:
         world = self.world
         transport = world.transport
         transport.set_phase("border")
@@ -219,6 +224,12 @@ class P2PExchange(GhostExchange):
         In hardware this rides in the border-stage descriptor (8 bytes);
         functionally we move a :class:`RemoteWindow` per route.
         """
+        with TRACER.span(
+            f"{self.name}.window-piggyback", cat="rdma", track="comm", pattern=self.name
+        ):
+            self._exchange_windows_impl()
+
+    def _exchange_windows_impl(self) -> None:
         transport = self.world.transport
         transport.set_phase("border-piggyback")
         for rank in range(self.world.size):
@@ -254,12 +265,15 @@ class P2PExchange(GhostExchange):
     def _forward_rdma(self) -> None:
         """Forward positions by direct PUT into remote position arrays."""
         self.world.transport.set_phase("forward")
-        for rank in range(self.world.size):
-            endpoint = self.endpoints[rank]
-            atoms = self.atoms_of(rank)
-            for s_idx, route in enumerate(self.routes[rank].sends):
-                packed = atoms.x[route.send_idx] + route.shift
-                endpoint.put_positions(s_idx, packed)
+        with TRACER.span(
+            f"{self.name}.forward-rdma", cat="rdma", track="comm", pattern=self.name
+        ):
+            for rank in range(self.world.size):
+                endpoint = self.endpoints[rank]
+                atoms = self.atoms_of(rank)
+                for s_idx, route in enumerate(self.routes[rank].sends):
+                    packed = atoms.x[route.send_idx] + route.shift
+                    endpoint.put_positions(s_idx, packed)
 
     def _reverse_sum_array(self, arrays, phase: str) -> None:
         if self.rdma and phase == "reverse":
@@ -270,6 +284,12 @@ class P2PExchange(GhostExchange):
     def _reverse_rdma(self) -> None:
         """Reverse forces via length-prefixed PUTs into receive rings."""
         self.world.transport.set_phase("reverse")
+        with TRACER.span(
+            f"{self.name}.reverse-rdma", cat="rdma", track="comm", pattern=self.name
+        ):
+            self._reverse_rdma_impl()
+
+    def _reverse_rdma_impl(self) -> None:
         # Ghost holders put into the owners' rings...
         for rank in range(self.world.size):
             endpoint = self.endpoints[rank]

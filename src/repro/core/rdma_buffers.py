@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.core.ghost import GhostBudget
 from repro.machine.rdma import MemoryRegion, RdmaEngine
+from repro.obs.metrics import METRICS, OCCUPANCY_BUCKETS
 
 
 class BufferOverwriteError(RuntimeError):
@@ -70,6 +71,10 @@ class RecvBufferRing:
         protocol), so the sender knows the index without communication.
         """
         idx = self._write_cursor
+        if METRICS.enabled:
+            METRICS.histogram(
+                "recv_ring_occupancy", buckets=OCCUPANCY_BUCKETS
+            ).observe(self.outstanding())
         if self._dirty[idx]:
             raise BufferOverwriteError(
                 f"receive buffer {idx} would be overwritten before it was "

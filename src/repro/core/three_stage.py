@@ -23,6 +23,7 @@ import numpy as np
 from repro.core.exchange_base import GhostExchange, RecvRoute, SendRoute
 from repro.core.patterns import three_stage_swaps
 from repro.md.domain import Domain
+from repro.obs.trace import TRACER
 from repro.runtime.world import World
 
 
@@ -45,6 +46,10 @@ class ThreeStageExchange(GhostExchange):
     # -- border stage ----------------------------------------------------------
     def borders(self) -> None:
         """Staged border exchange: 2 swaps per dimension with forwarding."""
+        with self._phase_span("border"):
+            self._borders_impl()
+
+    def _borders_impl(self) -> None:
         world = self.world
         transport = world.transport
         transport.set_phase("border")
@@ -63,55 +68,71 @@ class ThreeStageExchange(GhostExchange):
 
         for k, swap in enumerate(self.swaps):
             dim, direction = swap.dim, swap.dir
-            tag = ("3s", k)
-            # Send sweep -------------------------------------------------
-            for rank in range(world.size):
-                atoms = self.atoms_of(rank)
-                sub = self.sub_box_of(rank)
-                flow_key = (rank, dim, direction)
-                dim_key = (rank, dim)
-                if dim_key not in dim_first:
-                    dim_first[dim_key] = atoms.ntotal
-                if flow_key in prev_recv:
-                    # Repetition of this flow: forward what the previous
-                    # repetition delivered (and still faces the border).
-                    lo, n = prev_recv[flow_key]
-                    cand = np.arange(lo, lo + n, dtype=np.intp)
-                else:
-                    cand = np.arange(dim_first[dim_key], dtype=np.intp)
-                x = atoms.x
-                if direction > 0:
-                    mask = x[cand, dim] >= sub.hi[dim] - self.rcomm
-                else:
-                    mask = x[cand, dim] < sub.lo[dim] + self.rcomm
-                send_idx = cand[mask]
+            with TRACER.span(
+                f"swap{k}", cat="swap", track="comm", dim=dim, dir=direction
+            ):
+                self._border_swap(k, dim, direction, prev_recv, dim_first)
 
-                o_send = tuple(direction if d == dim else 0 for d in range(3))
-                peer = world.neighbor_rank(rank, o_send)
-                shift = self.shift_for_send(rank, o_send)
-                self.routes[rank].sends.append(
-                    SendRoute(peer=peer, send_idx=send_idx, shift=shift, tag=tag)
-                )
-                payload = (
-                    atoms.x[send_idx] + shift,
-                    atoms.tag[send_idx],
-                    atoms.type[send_idx],
-                )
-                transport.send(rank, peer, tag + ("border",), payload)
+    def _border_swap(
+        self,
+        k: int,
+        dim: int,
+        direction: int,
+        prev_recv: dict,
+        dim_first: dict,
+    ) -> None:
+        """One staged swap: send sweep then receive sweep (a Fig. 4 stage)."""
+        world = self.world
+        transport = world.transport
+        tag = ("3s", k)
+        # Send sweep -------------------------------------------------
+        for rank in range(world.size):
+            atoms = self.atoms_of(rank)
+            sub = self.sub_box_of(rank)
+            flow_key = (rank, dim, direction)
+            dim_key = (rank, dim)
+            if dim_key not in dim_first:
+                dim_first[dim_key] = atoms.ntotal
+            if flow_key in prev_recv:
+                # Repetition of this flow: forward what the previous
+                # repetition delivered (and still faces the border).
+                lo, n = prev_recv[flow_key]
+                cand = np.arange(lo, lo + n, dtype=np.intp)
+            else:
+                cand = np.arange(dim_first[dim_key], dtype=np.intp)
+            x = atoms.x
+            if direction > 0:
+                mask = x[cand, dim] >= sub.hi[dim] - self.rcomm
+            else:
+                mask = x[cand, dim] < sub.lo[dim] + self.rcomm
+            send_idx = cand[mask]
 
-            # Receive sweep ----------------------------------------------
-            for rank in range(world.size):
-                atoms = self.atoms_of(rank)
-                o_send = tuple(direction if d == dim else 0 for d in range(3))
-                src = world.neighbor_rank(rank, tuple(-o for o in o_send))
-                payload_x, payload_tag, payload_type = transport.recv(
-                    rank, src, tag + ("border",)
-                )
-                start, count = atoms.append_ghosts(payload_x, payload_tag, payload_type)
-                self.routes[rank].recvs.append(
-                    RecvRoute(peer=src, recv_start=start, recv_count=count, tag=tag)
-                )
-                prev_recv[(rank, dim, direction)] = (start, count)
+            o_send = tuple(direction if d == dim else 0 for d in range(3))
+            peer = world.neighbor_rank(rank, o_send)
+            shift = self.shift_for_send(rank, o_send)
+            self.routes[rank].sends.append(
+                SendRoute(peer=peer, send_idx=send_idx, shift=shift, tag=tag)
+            )
+            payload = (
+                atoms.x[send_idx] + shift,
+                atoms.tag[send_idx],
+                atoms.type[send_idx],
+            )
+            transport.send(rank, peer, tag + ("border",), payload)
+
+        # Receive sweep ----------------------------------------------
+        for rank in range(world.size):
+            atoms = self.atoms_of(rank)
+            o_send = tuple(direction if d == dim else 0 for d in range(3))
+            src = world.neighbor_rank(rank, tuple(-o for o in o_send))
+            payload_x, payload_tag, payload_type = transport.recv(
+                rank, src, tag + ("border",)
+            )
+            start, count = atoms.append_ghosts(payload_x, payload_tag, payload_type)
+            self.routes[rank].recvs.append(
+                RecvRoute(peer=src, recv_start=start, recv_count=count, tag=tag)
+            )
+            prev_recv[(rank, dim, direction)] = (start, count)
 
     # -- staged forward / reverse ------------------------------------------------
     def _forward_array(self, arrays, apply_shift: bool, phase: str) -> None:

@@ -32,6 +32,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.machine.params import FUGAKU, MachineParams
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACER
 
 
 class RdmaError(RuntimeError):
@@ -96,6 +98,14 @@ class RegistrationCache:
         self._regions[region.stag] = region
         self.total_registration_time += self.params.registration_cost(region.nbytes)
         self.registration_count += 1
+        if METRICS.enabled:
+            METRICS.counter("rdma_registrations_total").inc()
+            METRICS.counter("rdma_registered_bytes_total").inc(region.nbytes)
+        if TRACER.enabled:
+            TRACER.instant(
+                "rdma-register", cat="rdma", track=f"rank{self.rank}",
+                nbytes=region.nbytes, stag=region.stag,
+            )
         return region
 
     def deregister(self, region: MemoryRegion) -> None:
@@ -162,6 +172,9 @@ class RdmaEngine:
         ]
         self.put_count += 1
         self.bytes_put += count * src.data.itemsize
+        if METRICS.enabled:
+            METRICS.counter("rdma_puts_total").inc()
+            METRICS.counter("rdma_put_bytes_total").inc(count * src.data.itemsize)
 
     def get(
         self,

@@ -50,6 +50,8 @@ def format_performance(
 
 def format_breakdown(timers: StageTimers, which: str = "wall", nprocs: int = 1) -> str:
     """The ``MPI task timing breakdown`` table."""
+    if which not in ("wall", "model"):
+        raise ValueError(f"which must be 'wall' or 'model', got {which!r}")
     table = timers.wall if which == "wall" else timers.model
     total = sum(table.values())
     lines = [

@@ -40,6 +40,7 @@ from repro.md.potentials.base import PairPotential
 from repro.md.region import Box
 from repro.md.stages import Stage, StageTimers
 from repro.md.thermo import Thermo, ThermoSample
+from repro.obs.trace import TRACER
 from repro.runtime.collectives import allreduce
 from repro.runtime.world import World
 
@@ -191,15 +192,16 @@ class Simulation:
     # ------------------------------------------------------------------
     def setup(self) -> None:
         """Initial borders + neighbor lists + forces (LAMMPS setup())."""
-        with self.timers.timing(Stage.COMM):
-            self.exchange.exchange()
-            self.exchange.borders()
-        with self.timers.timing(Stage.NEIGH):
-            for rank in range(self.world.size):
-                atoms = self.atoms_of(rank)
-                self.neigh_of(rank).build(atoms.x, atoms.nlocal)
-        self._compute_forces()
-        self._setup_done = True
+        with TRACER.span("setup", cat="step", track="run", pattern=self.config.pattern):
+            with self.timers.timing(Stage.COMM):
+                self.exchange.exchange()
+                self.exchange.borders()
+            with self.timers.timing(Stage.NEIGH):
+                for rank in range(self.world.size):
+                    atoms = self.atoms_of(rank)
+                    self.neigh_of(rank).build(atoms.x, atoms.nlocal)
+            self._compute_forces()
+            self._setup_done = True
 
     def _compute_forces(self) -> None:
         """Pair stage (+ reverse comm) on every rank."""
@@ -267,7 +269,11 @@ class Simulation:
         if not self._setup_done:
             self.setup()
         self.step_count += 1
+        with TRACER.span(f"step {self.step_count}", cat="step", track="run"):
+            self._step_impl()
 
+    def _step_impl(self) -> None:
+        """One timestep's body (wrapped in a ``cat="step"`` span)."""
         with self.timers.timing(Stage.MODIFY):
             for rank in range(self.world.size):
                 self.integrator.initial_integrate(self.atoms_of(rank))

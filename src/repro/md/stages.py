@@ -23,6 +23,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from enum import Enum
 
+from repro.obs.trace import TRACER
+
 
 class Stage(str, Enum):
     """The five LAMMPS timing stages of Table 3."""
@@ -42,18 +44,29 @@ class StageTimers:
 
     @contextmanager
     def timing(self, stage: Stage):
-        """Context manager accumulating wall time into ``stage``."""
+        """Context manager accumulating wall time into ``stage``.
+
+        When tracing is enabled, the *same* measured interval is also
+        recorded as a ``cat="stage"`` span — one measurement, two
+        accounts — so the span-derived breakdown reproduces these
+        totals exactly (the observability self-check relies on it).
+        """
         t0 = time.perf_counter()
         try:
             yield
         finally:
-            self.wall[stage] += time.perf_counter() - t0
+            t1 = time.perf_counter()
+            self.wall[stage] += t1 - t0
+            if TRACER.enabled:
+                TRACER.add_wall_span(stage.value, t0, t1, cat="stage", track="stages")
 
     def add_model(self, stage: Stage, seconds: float) -> None:
         """Account simulated machine time to ``stage``."""
         if seconds < 0:
             raise ValueError(f"negative model time {seconds}")
         self.model[stage] += seconds
+        if TRACER.enabled:
+            TRACER.model_span_seq(stage.value, seconds, cat="stage", track="stages")
 
     def total_wall(self) -> float:
         """Summed wall seconds across stages."""
@@ -64,7 +77,14 @@ class StageTimers:
         return sum(self.model.values())
 
     def breakdown(self, which: str = "wall") -> dict[str, tuple[float, float]]:
-        """Stage -> (seconds, percent) like LAMMPS' "MPI task timing"."""
+        """Stage -> (seconds, percent) like LAMMPS' "MPI task timing".
+
+        ``which`` must be ``"wall"`` or ``"model"``; anything else is a
+        caller typo and raises :class:`ValueError` instead of silently
+        reporting the model account.
+        """
+        if which not in ("wall", "model"):
+            raise ValueError(f"which must be 'wall' or 'model', got {which!r}")
         table = self.wall if which == "wall" else self.model
         total = sum(table.values())
         return {

@@ -31,6 +31,8 @@ from dataclasses import dataclass, field
 from repro.machine.params import FUGAKU, MachineParams
 from repro.network.events import Resource
 from repro.network.stacks import SoftwareStack, UtofuStack
+from repro.obs.metrics import HOP_BUCKETS, METRICS
+from repro.obs.trace import TRACER
 
 
 @dataclass(frozen=True)
@@ -105,12 +107,25 @@ def simulate_round(
     last_injection = start_time
     wire_messages = 0
 
+    trace_on = TRACER.enabled
+    metrics_on = METRICS.enabled
+    if trace_on:
+        # A fresh round (no chained clocks/engines) gets its own base on
+        # the simulated timeline; chained rounds reuse the current one.
+        fresh = thread_clocks is None and tni_engines is None and start_time == 0.0
+        base = TRACER.begin_model_round() if fresh else TRACER.model_offset
+    else:
+        base = 0.0
+
     for msg in messages:
         key = (msg.rank, msg.thread)
         clock = max(clocks.get(key, start_time), start_time)
 
         n_wire = stack.protocol_message_count(msg.nbytes, msg.known_length)
         wire_messages += n_wire
+
+        if metrics_on:
+            METRICS.histogram("message_hops", buckets=HOP_BUCKETS).observe(msg.hops)
 
         # VCQ switch: a thread moving to a different TNI's VCQ pays extra
         # software overhead (descriptor cache, function-call chain).
@@ -122,6 +137,7 @@ def simulate_round(
         for i in range(n_wire):
             # A length-prefix protocol message is tiny; the payload is last.
             nbytes = 8 if (n_wire > 1 and i < n_wire - 1) else msg.nbytes
+            inj_start = clock
             clock += stack.injection_interval(nbytes)
             inject_time = clock
 
@@ -136,6 +152,30 @@ def simulate_round(
                 + params.rdma_put_latency
                 + max(msg.hops - 1, 0) * params.hop_latency
             )
+
+            if metrics_on:
+                # Tofu does not retransmit: every injection reaches the wire.
+                METRICS.counter("injections_total").inc()
+                METRICS.counter("tni_busy_seconds", tni=str(msg.tni)).inc(serial)
+            if trace_on:
+                injector = f"rank{msg.rank}/thr{msg.thread}"
+                TRACER.add_model_span(
+                    "inject", base + inj_start, clock - inj_start,
+                    cat="inject", track=injector, nbytes=nbytes, tni=msg.tni,
+                )
+                if eng_start > inject_time:
+                    TRACER.add_model_span(
+                        "queue", base + inject_time, eng_start - inject_time,
+                        cat="queue", track=injector, tni=msg.tni,
+                    )
+                TRACER.add_model_span(
+                    "tni-engine", base + eng_start, serial,
+                    cat="tni", track=f"tni{msg.tni}", nbytes=nbytes, rank=msg.rank,
+                )
+                TRACER.add_model_span(
+                    "wire", base + eng_start + serial, arrival - eng_start - serial,
+                    cat="wire", track=injector, hops=msg.hops, nbytes=nbytes,
+                )
 
         clocks[key] = clock
         last_injection = max(last_injection, clock)

@@ -1,0 +1,71 @@
+"""repro.obs — unified tracing and metrics for the whole reproduction.
+
+One observability layer under every account the repository keeps:
+
+* :mod:`repro.obs.trace` — span/event tracer over two timelines (wall
+  clock and simulated machine), attributed by rank/thread/TNI/stage/
+  phase, a no-op when disabled.
+* :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket
+  histograms (message sizes, hops, RDMA registrations, receive-ring
+  occupancy, per-TNI busy time, injections).
+* :mod:`repro.obs.export` — Chrome trace-event JSON, viewable in
+  Perfetto.
+* :mod:`repro.obs.report` — Table-3-style breakdowns and traffic
+  summaries *derived from spans*, which the self-check battery compares
+  against ``StageTimers``, ``TrafficLog``, and the Table 1 formulas.
+
+Typical use::
+
+    from repro.obs import observe
+    from repro.obs.export import write_chrome_trace
+
+    with observe() as (tracer, metrics):
+        sim = quick_lj_simulation(pattern="parallel-p2p")
+        sim.run(20)
+    write_chrome_trace("out.json", tracer)
+    print(metrics.render())
+
+or from the CLI: ``python -m repro --trace out.json --metrics``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.obs.metrics import METRICS, MetricsRegistry, collecting, get_metrics
+from repro.obs.trace import TRACER, Tracer, get_tracer, tracing
+
+
+@contextmanager
+def observe(trace: bool = True, metrics: bool = True, fresh: bool = True):
+    """Enable tracing and/or metrics for a block; restore state on exit.
+
+    Yields ``(tracer, registry)`` — the global singletons, whose records
+    remain readable after the block ends.
+    """
+    prev_trace, prev_metrics = TRACER.enabled, METRICS.enabled
+    if fresh:
+        if trace:
+            TRACER.reset()
+        if metrics:
+            METRICS.reset()
+    TRACER.enabled = trace or prev_trace
+    METRICS.enabled = metrics or prev_metrics
+    try:
+        yield TRACER, METRICS
+    finally:
+        TRACER.enabled = prev_trace
+        METRICS.enabled = prev_metrics
+
+
+__all__ = [
+    "TRACER",
+    "METRICS",
+    "Tracer",
+    "MetricsRegistry",
+    "get_tracer",
+    "get_metrics",
+    "tracing",
+    "collecting",
+    "observe",
+]

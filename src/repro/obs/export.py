@@ -1,0 +1,179 @@
+"""Chrome trace-event export (viewable in Perfetto / chrome://tracing).
+
+Maps the tracer's two timelines onto two trace "processes":
+
+* pid 1 — the wall clock of this Python process (steps, stages,
+  exchange phases, message instants),
+* pid 2 — the simulated Fugaku machine (injection / TNI-engine / wire
+  segments, thread-pool regions, modeled stage seconds).
+
+Tracks (``"rank0/thr2"``, ``"tni3"``, ``"stages"``, ...) become named
+threads.  Spans are emitted as complete events (``"ph": "X"``), instants
+as ``"ph": "i"``, with timestamps in microseconds per the trace-event
+format.  :func:`validate_chrome_trace` checks the schema the CI smoke
+run relies on — it is intentionally strict about the fields viewers
+actually parse.
+"""
+
+from __future__ import annotations
+
+import json
+import numbers
+
+from repro.obs.metrics import METRICS, Counter, Gauge, MetricsRegistry
+from repro.obs.trace import MODEL, TRACER, Tracer, WALL
+
+_PID = {WALL: 1, MODEL: 2}
+_PROCESS_NAMES = {1: "wall clock", 2: "simulated machine"}
+
+
+def _clean_args(args: dict) -> dict:
+    """JSON-safe copy of span args (everything else stringified)."""
+    out = {}
+    for k, v in args.items():
+        if isinstance(v, (str, bool)) or isinstance(v, numbers.Real):
+            out[k] = v
+        else:
+            out[k] = repr(v)
+    return out
+
+
+def chrome_trace_events(
+    tracer: Tracer | None = None, registry: MetricsRegistry | None = None
+) -> dict:
+    """Build the trace-event JSON document for ``tracer`` (+ metrics).
+
+    Counters and gauges from ``registry`` (default: the global one) ride
+    along as a final batch of counter (``"ph": "C"``) samples so the
+    totals are visible in the same viewer.
+    """
+    tracer = tracer if tracer is not None else TRACER
+    registry = registry if registry is not None else METRICS
+
+    events: list[dict] = []
+    tids: dict[tuple[int, str], int] = {}
+
+    for pid, name in _PROCESS_NAMES.items():
+        events.append(
+            {"ph": "M", "pid": pid, "tid": 0, "name": "process_name", "args": {"name": name}}
+        )
+
+    def tid_for(pid: int, track: str) -> int:
+        key = (pid, track)
+        if key not in tids:
+            tids[key] = len([k for k in tids if k[0] == pid]) + 1
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tids[key],
+                    "name": "thread_name",
+                    "args": {"name": track},
+                }
+            )
+        return tids[key]
+
+    for span in tracer.spans:
+        pid = _PID[span.clock]
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.cat or "default",
+                "ph": "X",
+                "pid": pid,
+                "tid": tid_for(pid, span.track),
+                "ts": span.ts * 1e6,
+                "dur": span.dur * 1e6,
+                "args": _clean_args(span.args),
+            }
+        )
+
+    for ev in tracer.instants:
+        pid = _PID[ev.clock]
+        events.append(
+            {
+                "name": ev.name,
+                "cat": ev.cat or "default",
+                "ph": "i",
+                "s": "t",
+                "pid": pid,
+                "tid": tid_for(pid, ev.track),
+                "ts": ev.ts * 1e6,
+                "args": _clean_args(ev.args),
+            }
+        )
+
+    t_end = max(
+        [s.end for s in tracer.spans if s.clock == WALL] + [e.ts for e in tracer.instants],
+        default=0.0,
+    )
+    for metric in registry.all_metrics():
+        if isinstance(metric, (Counter, Gauge)):
+            events.append(
+                {
+                    "name": metric.name,
+                    "cat": "metric",
+                    "ph": "C",
+                    "pid": 1,
+                    "tid": 0,
+                    "ts": t_end * 1e6,
+                    "args": {metric.name: metric.value},
+                }
+            )
+
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str, tracer: Tracer | None = None, registry: MetricsRegistry | None = None
+) -> dict:
+    """Serialize :func:`chrome_trace_events` to ``path``; returns the doc."""
+    doc = chrome_trace_events(tracer, registry)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    return doc
+
+
+def validate_chrome_trace(doc: dict) -> int:
+    """Validate a trace-event document; returns the event count.
+
+    Raises :class:`ValueError` naming the first offending event.  Checks
+    the invariants viewers depend on: the ``traceEvents`` array, known
+    phase types, string names, integer pid/tid, and finite non-negative
+    microsecond timestamps/durations on timed events.
+    """
+    if not isinstance(doc, dict):
+        raise ValueError(f"trace document must be an object, got {type(doc).__name__}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace document lacks a 'traceEvents' array")
+    for i, ev in enumerate(events):
+        ctx = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            raise ValueError(f"{ctx} is not an object")
+        ph = ev.get("ph")
+        if ph not in ("X", "B", "E", "i", "I", "M", "C"):
+            raise ValueError(f"{ctx} has unknown phase {ph!r}")
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            raise ValueError(f"{ctx} lacks a non-empty string 'name'")
+        for field in ("pid", "tid"):
+            if field in ev and not isinstance(ev[field], int):
+                raise ValueError(f"{ctx} field {field!r} must be an integer")
+        if ph in ("X", "i", "I", "C"):
+            ts = ev.get("ts")
+            if not isinstance(ts, numbers.Real) or ts != ts or ts < 0:
+                raise ValueError(f"{ctx} has invalid ts {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, numbers.Real) or dur != dur or dur < 0:
+                raise ValueError(f"{ctx} has invalid dur {dur!r}")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            raise ValueError(f"{ctx} field 'args' must be an object")
+    return len(events)
+
+
+def validate_chrome_trace_file(path: str) -> int:
+    """Load ``path`` as JSON and validate it; returns the event count."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    return validate_chrome_trace(doc)

@@ -1,0 +1,219 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The quantitative companions to the tracer's timelines — the distributions
+and totals the paper's analysis keeps coming back to:
+
+* ``message_size_bytes`` / ``message_hops`` histograms (Table 1's two
+  axes),
+* ``rdma_registrations_total`` (the kernel-trap count pre-registration
+  is designed to flatten, section 3.4),
+* ``recv_ring_occupancy`` (the round-robin receive-buffer depth
+  argument of Fig. 10),
+* ``tni_busy_seconds`` per TNI (the engine-contention account behind
+  Fig. 8),
+* ``injections_total`` (retransmit-free wire injections — Tofu does not
+  retransmit, so every injection counted here reached the wire).
+
+Like the tracer, the module-level :data:`METRICS` singleton starts
+disabled and every instrumentation site guards on ``METRICS.enabled``,
+keeping the disabled path free of any allocation or lookup.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+#: Default histogram buckets (upper bounds) for message payload sizes.
+SIZE_BUCKETS = (64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0, 1048576.0)
+#: Default buckets for logical-torus hop counts (Table 1's ``hop`` column).
+HOP_BUCKETS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0)
+#: Default buckets for receive-ring occupancy (depth 4 rings, Fig. 10).
+OCCUPANCY_BUCKETS = (0.0, 1.0, 2.0, 3.0, 4.0, 8.0)
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+def _label_str(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing total."""
+
+    name: str
+    labels: dict = field(default_factory=dict)
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the total."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+    def render(self) -> str:
+        """One report line: ``name{labels} value``."""
+        return f"{self.name}{_label_str(self.labels)} {self.value:g}"
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    name: str
+    labels: dict = field(default_factory=dict)
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge with ``value``."""
+        self.value = float(value)
+
+    def render(self) -> str:
+        """One report line: ``name{labels} value``."""
+        return f"{self.name}{_label_str(self.labels)} {self.value:g}"
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative style: bucket = values <= bound).
+
+    Buckets are frozen at creation; an implicit ``+Inf`` bucket catches
+    everything above the last bound, so ``observe`` never fails.
+    """
+
+    def __init__(self, name: str, labels: dict, buckets: tuple[float, ...]) -> None:
+        if not buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        bounds = tuple(float(b) for b in buckets)
+        if list(bounds) != sorted(bounds):
+            raise ValueError(f"bucket bounds must be sorted, got {bounds}")
+        self.name = name
+        self.labels = dict(labels)
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last slot is +Inf
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.count += 1
+        self.total += value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        """Average of all observed samples (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        """(upper bound, count) pairs, ending with the +Inf bucket."""
+        out = [(b, c) for b, c in zip(self.bounds, self.counts)]
+        out.append((math.inf, self.counts[-1]))
+        return out
+
+    def render(self) -> str:
+        """Multi-line report block for this histogram."""
+        head = (
+            f"{self.name}{_label_str(self.labels)} "
+            f"count={self.count} sum={self.total:g} mean={self.mean:g}"
+        )
+        cells = []
+        for bound, n in self.bucket_counts():
+            label = "+Inf" if math.isinf(bound) else f"{bound:g}"
+            cells.append(f"<={label}:{n}")
+        return head + "\n    " + "  ".join(cells)
+
+
+class MetricsRegistry:
+    """Create-on-first-use registry of named, labelled instruments."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._metrics: dict[tuple, object] = {}
+
+    def reset(self) -> None:
+        """Drop every instrument."""
+        self._metrics.clear()
+
+    def _get(self, kind: str, name: str, labels: dict, factory):
+        key = (kind, name, _label_key(labels))
+        inst = self._metrics.get(key)
+        if inst is None:
+            inst = factory()
+            self._metrics[key] = inst
+        return inst
+
+    def counter(self, name: str, **labels) -> Counter:
+        """The counter ``name`` with these labels (created on first use)."""
+        return self._get("counter", name, labels, lambda: Counter(name, labels))
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        """The gauge ``name`` with these labels (created on first use)."""
+        return self._get("gauge", name, labels, lambda: Gauge(name, labels))
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] = SIZE_BUCKETS, **labels
+    ) -> Histogram:
+        """The histogram ``name``; ``buckets`` only applies at creation."""
+        return self._get("histogram", name, labels, lambda: Histogram(name, labels, buckets))
+
+    def all_metrics(self) -> list:
+        """Every instrument, sorted by (kind, name, labels) for stable output."""
+        return [self._metrics[k] for k in sorted(self._metrics, key=repr)]
+
+    def find(self, name: str) -> list:
+        """All instruments (any labels) registered under ``name``."""
+        return [m for m in self.all_metrics() if m.name == name]
+
+    def value(self, name: str, default: float = 0.0, **labels) -> float:
+        """Current value of a counter/gauge, or ``default`` if absent."""
+        for kind in ("counter", "gauge"):
+            inst = self._metrics.get((kind, name, _label_key(labels)))
+            if inst is not None:
+                return inst.value
+        return default
+
+    def render(self) -> str:
+        """Text report: counters and gauges first, then histogram blocks."""
+        lines = ["metrics report:"]
+        scalars = [m for m in self.all_metrics() if isinstance(m, (Counter, Gauge))]
+        hists = [m for m in self.all_metrics() if isinstance(m, Histogram)]
+        if not scalars and not hists:
+            lines.append("  (no metrics recorded)")
+        for m in scalars:
+            lines.append("  " + m.render())
+        for h in hists:
+            lines.append("  " + h.render())
+        return "\n".join(lines)
+
+
+#: The process-wide registry. Never replaced, only reset.
+METRICS = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The global metrics registry singleton."""
+    return METRICS
+
+
+@contextmanager
+def collecting(fresh: bool = True):
+    """Enable the global registry for a block; restores the prior state."""
+    prev = METRICS.enabled
+    if fresh:
+        METRICS.reset()
+    METRICS.enabled = True
+    try:
+        yield METRICS
+    finally:
+        METRICS.enabled = prev

@@ -22,6 +22,8 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.machine.params import FUGAKU, MachineParams
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACER
 
 
 @dataclass(frozen=True)
@@ -85,7 +87,23 @@ class ThreadPoolModel:
         """
         self.parallel_regions += 1
         items = [WorkItem(None, w) for w in work]
-        return self.fork_join + makespan(split_load(items, self.n_threads))
+        bottleneck = makespan(split_load(items, self.n_threads))
+        if TRACER.enabled:
+            # Two back-to-back model spans make the fixed fork/join
+            # overhead (the paper's 1.1 us) visible next to the work.
+            start = TRACER.model_clock
+            TRACER.add_model_span(
+                "fork_join", start, self.fork_join,
+                cat="threadpool", track="threadpool", n_threads=self.n_threads,
+            )
+            TRACER.add_model_span(
+                "parallel_work", start + self.fork_join, bottleneck,
+                cat="threadpool", track="threadpool", n_items=len(items),
+            )
+        if METRICS.enabled:
+            METRICS.counter("threadpool_regions_total").inc()
+            METRICS.counter("threadpool_fork_join_seconds").inc(self.fork_join)
+        return self.fork_join + bottleneck
 
     def serial_fraction_speedup(self, total_work: float, serial_work: float) -> float:
         """Amdahl helper: speedup of this pool on a mixed workload."""

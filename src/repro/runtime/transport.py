@@ -20,6 +20,9 @@ from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from typing import Any, Hashable
 
+from repro.obs.metrics import METRICS, SIZE_BUCKETS
+from repro.obs.trace import TRACER
+
 
 class TransportError(RuntimeError):
     """Raised on protocol misuse (missing message, bad addressing)."""
@@ -75,6 +78,48 @@ class TrafficLog:
             if phase is None or m.phase == phase
         }
 
+    def summary(self, phase: str | None = None) -> "TrafficSummary":
+        """One-call aggregate (counts, bytes, busiest pair) of a phase.
+
+        The convenience figures and tests kept re-deriving by hand from
+        ``log.messages``; also the unit the observability self-checks
+        compare against the trace-recomputed account.
+        """
+        pair_bytes: dict[tuple[int, int], int] = defaultdict(int)
+        count = 0
+        total = 0
+        for m in self.messages:
+            if phase is not None and m.phase != phase:
+                continue
+            count += 1
+            total += m.nbytes
+            pair_bytes[(m.src, m.dst)] += m.nbytes
+        max_pair: tuple[int, int] | None = None
+        max_pair_bytes = 0
+        if pair_bytes:
+            max_pair = max(pair_bytes, key=lambda p: (pair_bytes[p], p))
+            max_pair_bytes = pair_bytes[max_pair]
+        return TrafficSummary(
+            phase=phase,
+            count=count,
+            total_bytes=total,
+            pair_count=len(pair_bytes),
+            max_pair=max_pair,
+            max_pair_bytes=max_pair_bytes,
+        )
+
+
+@dataclass(frozen=True)
+class TrafficSummary:
+    """Aggregate view of one phase's traffic (or of the whole log)."""
+
+    phase: str | None
+    count: int
+    total_bytes: int
+    pair_count: int
+    max_pair: tuple[int, int] | None
+    max_pair_bytes: int
+
 
 def _payload_nbytes(payload: Any) -> int:
     """Best-effort byte size of a payload (ndarray-aware)."""
@@ -118,9 +163,22 @@ class Transport:
         self._check_rank(src, "source")
         self._check_rank(dst, "destination")
         self._boxes[(src, dst, tag)].append(payload)
-        self.log.record(
-            SentMessage(src, dst, tag, _payload_nbytes(payload), self.phase)
-        )
+        nbytes = _payload_nbytes(payload)
+        self.log.record(SentMessage(src, dst, tag, nbytes, self.phase))
+        if TRACER.enabled:
+            TRACER.instant(
+                "msg",
+                cat="msg",
+                track=f"rank{src}",
+                src=src,
+                dst=dst,
+                phase=self.phase,
+                nbytes=nbytes,
+                tag=repr(tag),
+            )
+        if METRICS.enabled:
+            METRICS.counter("messages_total", phase=self.phase).inc()
+            METRICS.histogram("message_size_bytes", buckets=SIZE_BUCKETS).observe(nbytes)
 
     def recv(self, dst: int, src: int, tag: Hashable) -> Any:
         """Collect the oldest matching message; raises if none is waiting."""

@@ -9,7 +9,12 @@ verifies
 2. trajectories stay identical over tens of steps (migration included),
 3. conservation laws hold (momentum exactly, energy to truncation noise),
 4. the traffic actually moved matches Table 1 (13 vs 6 messages, half
-   vs full ghost volume).
+   vs full ghost volume),
+5. the observability layer agrees with the ground truth: per-phase
+   message counts/bytes recomputed from the trace equal the
+   :class:`~repro.runtime.transport.TrafficLog`, the forward counts
+   equal the Table 1 analytic formulas, and the span-derived stage
+   breakdown reproduces :class:`~repro.md.stages.StageTimers` exactly.
 
 Returns a structured report; any failed check names itself.
 """
@@ -136,4 +141,79 @@ def run_selfcheck(cells=(4, 4, 4), steps: int = 20, seed: int = 7) -> SelfCheckR
         rereg == 0,
         f"{rereg} re-registrations",
     )
+    _observability_checks(report, x, v, box, steps=max(steps // 2, 5))
     return report
+
+
+def _observability_checks(
+    report: SelfCheckReport,
+    x: np.ndarray,
+    v: np.ndarray,
+    box,
+    steps: int = 10,
+) -> None:
+    """Trace-vs-TrafficLog-vs-Table-1 cross-validation (observability).
+
+    Re-runs a small system under tracing and checks three independent
+    accounts of the same communication against each other:
+
+    * per-phase counts/bytes recomputed from the per-message trace
+      instants must equal the :class:`TrafficLog` exactly,
+    * forward message counts must equal the Table 1 analytic formulas
+      (6 messages/rank for 3-stage, 13 for the half-shell p2p),
+    * the span-derived stage breakdown must equal ``StageTimers`` —
+      bit-exact, because both accounts share the measured floats.
+    """
+    from repro.core.analytic import analyze_p2p, analyze_three_stage
+    from repro.obs import observe
+    from repro.obs.report import phase_summary_from_trace, stage_breakdown_from_trace
+
+    for pattern in ("3stage", "parallel-p2p"):
+        cfg = SimulationConfig(
+            dt=0.005, skin=0.3, pattern=pattern, neighbor_every=5
+        )
+        with observe(metrics=False) as (tracer, _):
+            sim = Simulation(x, v, box, LennardJones(cutoff=2.5), cfg, grid=(2, 2, 2))
+            sim.run(steps)
+            phases = phase_summary_from_trace(tracer)
+            stage_wall = stage_breakdown_from_trace(tracer, "wall")
+
+        log = sim.world.transport.log
+        log_phases = {m.phase for m in log.messages}
+        agree = log_phases == set(phases) and all(
+            (phases[ph].count, phases[ph].total_bytes)
+            == (log.summary(ph).count, log.summary(ph).total_bytes)
+            for ph in phases
+        )
+        report.add(
+            f"trace[{pattern}] phase traffic equals TrafficLog",
+            agree,
+            f"phases {sorted(phases)}",
+        )
+
+        a = float(np.min(sim.domain.sub_lengths))
+        r = sim.potential.cutoff + cfg.skin
+        density = sim.natoms / box.volume
+        if pattern == "3stage":
+            analysis = analyze_three_stage(a, r, density)
+        else:
+            analysis = analyze_p2p(a, r, density, newton=sim.half)
+        expected_forward = analysis.total_messages * sim.world.size * (
+            sim.step_count - sim.rebuilds
+        )
+        measured_forward = phases["forward"].count if "forward" in phases else 0
+        report.add(
+            f"trace[{pattern}] forward counts match Table 1 "
+            f"({analysis.total_messages} msgs/rank)",
+            measured_forward == expected_forward,
+            f"measured {measured_forward}, predicted {expected_forward}",
+        )
+
+        max_err = max(
+            abs(stage_wall[s.value] - sim.timers.wall[s]) for s in sim.timers.wall
+        )
+        report.add(
+            f"trace[{pattern}] stage breakdown reproduces StageTimers",
+            max_err == 0.0,
+            f"max |span sum - timer| = {max_err:.2e}",
+        )

@@ -137,3 +137,10 @@ class TestStageTimers:
         a.add_model(Stage.PAIR, 1.0)
         b.add_model(Stage.PAIR, 2.0)
         assert a.merged_with(b).model[Stage.PAIR] == 3.0
+
+    def test_breakdown_rejects_unknown_account(self):
+        t = StageTimers()
+        with pytest.raises(ValueError, match="wall"):
+            t.breakdown("walltime")
+        with pytest.raises(ValueError):
+            t.breakdown("")

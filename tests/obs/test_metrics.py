@@ -1,0 +1,115 @@
+"""Metrics registry tests: instruments, labels, histograms, rendering."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    HOP_BUCKETS,
+    METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collecting,
+)
+
+
+class TestCounter:
+    def test_accumulates(self):
+        c = Counter("n")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("n").inc(-1)
+
+    def test_render(self):
+        c = Counter("msgs", {"phase": "forward"})
+        c.inc(4)
+        assert c.render() == "msgs{phase=forward} 4"
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("balance")
+        g.set(1.5)
+        g.set(2.0)
+        assert g.value == 2.0
+
+
+class TestHistogram:
+    def test_bucket_placement(self):
+        h = Histogram("hops", {}, HOP_BUCKETS)
+        for v in (1, 1, 2, 3, 100):
+            h.observe(v)
+        counts = dict(h.bucket_counts())
+        assert counts[1.0] == 2
+        assert counts[2.0] == 1
+        assert counts[3.0] == 1
+        assert counts[math.inf] == 1
+        assert h.count == 5
+        assert h.mean == pytest.approx(107 / 5)
+
+    def test_boundary_is_inclusive(self):
+        h = Histogram("x", {}, (10.0, 20.0))
+        h.observe(10.0)
+        assert dict(h.bucket_counts())[10.0] == 1
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram("x", {}, (1.0,)).mean == 0.0
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("x", {}, (2.0, 1.0))
+
+    def test_no_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("x", {}, ())
+
+
+class TestRegistry:
+    def test_create_on_first_use_returns_same_instrument(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+        assert r.histogram("h", buckets=(1.0,)) is r.histogram("h")
+
+    def test_labels_distinguish_instruments(self):
+        r = MetricsRegistry()
+        r.counter("msgs", phase="border").inc()
+        r.counter("msgs", phase="forward").inc(2)
+        assert r.value("msgs", phase="border") == 1
+        assert r.value("msgs", phase="forward") == 2
+        assert len(r.find("msgs")) == 2
+
+    def test_value_default_when_absent(self):
+        assert MetricsRegistry().value("nope", default=-1.0) == -1.0
+
+    def test_render_lists_scalars_then_histograms(self):
+        r = MetricsRegistry()
+        r.counter("c").inc()
+        r.histogram("h", buckets=(1.0,)).observe(0.5)
+        text = r.render()
+        assert text.index("c 1") < text.index("h count=1")
+        assert "<=+Inf:0" in text
+
+    def test_render_empty(self):
+        assert "(no metrics recorded)" in MetricsRegistry().render()
+
+    def test_reset_drops_instruments(self):
+        r = MetricsRegistry()
+        r.counter("c").inc()
+        r.reset()
+        assert r.find("c") == []
+
+
+class TestCollecting:
+    def test_enables_and_restores_global_registry(self):
+        assert not METRICS.enabled
+        with collecting() as reg:
+            assert reg is METRICS and reg.enabled
+            reg.counter("seen").inc()
+        assert not METRICS.enabled
+        assert METRICS.value("seen") == 1  # records survive the block

@@ -106,3 +106,50 @@ class TestTrafficLog:
         t.send(0, 1, "a", 1.0)
         t.log.clear()
         assert t.log.count() == 0
+
+
+class TestTrafficSummary:
+    def test_summary_whole_log(self, t):
+        t.set_phase("border")
+        t.send(0, 1, "a", np.zeros(4))
+        t.set_phase("forward")
+        t.send(1, 2, "b", np.zeros(8))
+        s = t.log.summary()
+        assert s.phase is None
+        assert s.count == 2
+        assert s.total_bytes == 96
+        assert s.pair_count == 2
+
+    def test_summary_filters_by_phase(self, t):
+        t.set_phase("border")
+        t.send(0, 1, "a", np.zeros(4))
+        t.set_phase("forward")
+        t.send(1, 2, "b", np.zeros(8))
+        t.send(1, 2, "c", np.zeros(2))
+        s = t.log.summary("forward")
+        assert (s.phase, s.count, s.total_bytes) == ("forward", 2, 80)
+        assert s.pair_count == 1
+
+    def test_summary_max_pair_by_bytes(self, t):
+        t.send(0, 1, "a", np.zeros(10))
+        t.send(2, 3, "b", np.zeros(2))
+        t.send(2, 3, "c", np.zeros(2))
+        s = t.log.summary()
+        assert s.max_pair == (0, 1)
+        assert s.max_pair_bytes == 80
+
+    def test_summary_empty(self, t):
+        s = t.log.summary("nope")
+        assert s.count == 0
+        assert s.total_bytes == 0
+        assert s.max_pair is None
+        assert s.max_pair_bytes == 0
+
+    def test_summary_matches_point_queries(self, t):
+        for i in range(4):
+            t.set_phase("forward" if i % 2 else "border")
+            t.send(i, (i + 1) % 4, i, np.zeros(i + 1))
+        for phase in (None, "border", "forward"):
+            s = t.log.summary(phase)
+            assert s.count == t.log.count(phase)
+            assert s.total_bytes == t.log.total_bytes(phase)
