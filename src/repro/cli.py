@@ -94,12 +94,6 @@ def build_simulation(args) -> Simulation:
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    if args.selfcheck:
-        from repro.selfcheck import run_selfcheck
-
-        report = run_selfcheck()
-        print(report.render())
-        return 0 if report.ok else 1
     if args.trace is not None:
         from repro.obs.trace import TRACER
 
@@ -118,6 +112,25 @@ def main(argv=None) -> int:
 
         METRICS.reset()
         METRICS.enabled = True
+    if args.selfcheck:
+        from repro.selfcheck import run_selfcheck
+
+        report = run_selfcheck()
+        print(report.render())
+        # --trace/--metrics compose with --selfcheck: the battery's last
+        # observed round is exported like a normal run's trace would be.
+        if args.trace is not None:
+            from repro.obs.export import write_chrome_trace
+            from repro.obs.trace import TRACER
+
+            doc = write_chrome_trace(args.trace)
+            print(f"# trace: {len(doc['traceEvents'])} events -> {args.trace}")
+            TRACER.enabled = False
+        if args.metrics:
+            print()
+            print(METRICS.render())
+            METRICS.enabled = False
+        return 0 if report.ok else 1
     if args.input:
         from repro.md.inputscript import InputScript
 

@@ -91,6 +91,8 @@ def simulate_round(
     start_time: float = 0.0,
     thread_clocks: dict[tuple[int, int], float] | None = None,
     tni_engines: dict[int, Resource] | None = None,
+    msg_base: int = 0,
+    stage: int = 0,
 ) -> RoundResult:
     """Simulate one round of message injections.
 
@@ -98,6 +100,11 @@ def simulate_round(
     would issue them); different threads proceed concurrently.  Optional
     ``thread_clocks``/``tni_engines`` allow chaining rounds while keeping
     resource history (used by :class:`NetworkSimulator`).
+
+    ``msg_base``/``stage`` give trace spans their provenance: every
+    inject/queue/tni-engine/wire segment of logical message *i* carries
+    ``msg=msg_base+i`` and its wire-segment index ``seg``, so
+    :mod:`repro.obs.critpath` can reassemble the dependency chain.
     """
     clocks: dict[tuple[int, int], float] = thread_clocks if thread_clocks is not None else {}
     engines: dict[int, Resource] = tni_engines if tni_engines is not None else {}
@@ -117,9 +124,10 @@ def simulate_round(
     else:
         base = 0.0
 
-    for msg in messages:
+    for msg_idx, msg in enumerate(messages):
         key = (msg.rank, msg.thread)
         clock = max(clocks.get(key, start_time), start_time)
+        msg_id = msg_base + msg_idx
 
         n_wire = stack.protocol_message_count(msg.nbytes, msg.known_length)
         wire_messages += n_wire
@@ -130,6 +138,12 @@ def simulate_round(
         # VCQ switch: a thread moving to a different TNI's VCQ pays extra
         # software overhead (descriptor cache, function-call chain).
         if key in last_vcq and last_vcq[key] != msg.tni:
+            if trace_on:
+                TRACER.add_model_span(
+                    "vcq-switch", base + clock, params.vcq_switch_overhead,
+                    cat="vcq", track=f"rank{msg.rank}/thr{msg.thread}",
+                    tni=msg.tni, msg=msg_id, stage=stage,
+                )
             clock += params.vcq_switch_overhead
         last_vcq[key] = msg.tni
 
@@ -162,19 +176,23 @@ def simulate_round(
                 TRACER.add_model_span(
                     "inject", base + inj_start, clock - inj_start,
                     cat="inject", track=injector, nbytes=nbytes, tni=msg.tni,
+                    msg=msg_id, seg=i, stage=stage,
                 )
                 if eng_start > inject_time:
                     TRACER.add_model_span(
                         "queue", base + inject_time, eng_start - inject_time,
                         cat="queue", track=injector, tni=msg.tni,
+                        msg=msg_id, seg=i, stage=stage,
                     )
                 TRACER.add_model_span(
                     "tni-engine", base + eng_start, serial,
                     cat="tni", track=f"tni{msg.tni}", nbytes=nbytes, rank=msg.rank,
+                    thread=msg.thread, msg=msg_id, seg=i, stage=stage,
                 )
                 TRACER.add_model_span(
                     "wire", base + eng_start + serial, arrival - eng_start - serial,
                     cat="wire", track=injector, hops=msg.hops, nbytes=nbytes,
+                    msg=msg_id, seg=i, stage=stage,
                 )
 
         clocks[key] = clock
@@ -225,10 +243,23 @@ class NetworkSimulator:
         arrivals: list[float] = []
         last_injection = 0.0
         wire = 0
+        msg_base = 0
         for i, stage in enumerate(stages):
             if i > 0:
+                if TRACER.enabled:
+                    # Stage i's first injection starts exactly at the end
+                    # of this span — the dependency edge the critical-path
+                    # analyzer follows across the inter-stage barrier.
+                    TRACER.add_model_span(
+                        "barrier", TRACER.model_offset + t, self.barrier_cost,
+                        cat="barrier", track="barrier", stage=i,
+                    )
                 t += self.barrier_cost
-            res = simulate_round(stage, self.stack, self.params, start_time=t)
+            res = simulate_round(
+                stage, self.stack, self.params, start_time=t,
+                msg_base=msg_base, stage=i,
+            )
+            msg_base += len(stage)
             arrivals.extend(res.arrivals)
             last_injection = max(last_injection, res.last_injection)
             wire += res.wire_messages

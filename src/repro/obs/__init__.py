@@ -13,6 +13,14 @@ One observability layer under every account the repository keeps:
 * :mod:`repro.obs.report` — Table-3-style breakdowns and traffic
   summaries *derived from spans*, which the self-check battery compares
   against ``StageTimers``, ``TrafficLog``, and the Table 1 formulas.
+* :mod:`repro.obs.critpath` — critical-path analysis of the simulated
+  exchange: which inject/TNI/wire/barrier segments determined the
+  completion time, attributed per category and per resource.
+* :mod:`repro.obs.bench` — the continuous benchmark harness
+  (``python -m repro.obs.bench run|compare|report``) recording wall and
+  model breakdowns, traffic, critical paths, and the Table 1/3 +
+  Fig. 13 model outputs into versioned ``BENCH_*.json`` artifacts with
+  regression gating (see docs/benchmarking.md).
 
 Typical use::
 

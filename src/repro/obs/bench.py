@@ -1,0 +1,661 @@
+"""Continuous benchmark harness with regression gating.
+
+The paper's whole argument is a performance delta; this module makes the
+repository's own perf trajectory a first-class, machine-checked
+artifact.  Three subcommands::
+
+    python -m repro.obs.bench run --out BENCH_PR2.json [--suite smoke]
+    python -m repro.obs.bench compare baseline.json BENCH_PR2.json
+    python -m repro.obs.bench report BENCH_PR2.json [--csv out.csv]
+
+``run`` executes a declared suite of configurations (potential x pattern
+x rank grid x rdma) and records, per configuration:
+
+* **wall** — pytest-benchmark-style stats (min/median/mean/stddev/max
+  over ``--repeats`` runs) of the five-stage wall breakdown,
+* **model** — the deterministic simulated-Fugaku stage seconds
+  (``StageTimers.model``) of the same run,
+* **traffic** — per-phase message counts and byte volumes from the
+  :class:`~repro.runtime.transport.TrafficLog`,
+* **critpath** — the critical-path attribution of the modeled forward
+  exchange (:mod:`repro.obs.critpath`): completion time, per-category
+  seconds, and the top bottleneck,
+
+plus the Table 1 / Table 3 / Fig. 13-headline model outputs, into a
+versioned ``repro-bench/1`` JSON document.
+
+``compare`` diffs two artifacts with per-metric-group tolerances and
+exits nonzero on regressions: model times and critical-path completion
+gate at 5 % (so an injected 10 % stage-time slowdown fails), traffic
+shape at 2 % in either direction, the Fig. 13 speedups must not drop
+more than 5 %.  Wall-clock stats are warn-only by default (they compare
+across machines); ``--gate-wall`` turns them into gates for same-machine
+comparisons.  See ``docs/benchmarking.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+import statistics
+import sys
+import time
+from dataclasses import dataclass, field
+
+#: Versioned schema identifier checked by :func:`validate_bench_doc`.
+SCHEMA = "repro-bench/1"
+
+STAGES = ("Pair", "Neigh", "Comm", "Modify", "Other")
+
+#: Per-metric-group relative tolerances for ``compare``.
+DEFAULT_TOLERANCES = {
+    "model_stage": 0.05,  # modeled stage seconds (deterministic)
+    "model_total": 0.05,
+    "critpath": 0.05,  # modeled exchange completion time
+    "traffic_count": 0.02,  # message counts (match both directions)
+    "traffic_bytes": 0.02,
+    "table1": 1e-6,  # pure analytics
+    "table3": 0.05,  # modeled Table 3 totals
+    "fig13": 0.05,  # headline speedups must not drop
+    "wall": 0.5,  # wall medians (warn-only unless --gate-wall)
+}
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """One declared benchmark configuration."""
+
+    potential: str  # "lj" | "eam"
+    pattern: str  # "3stage" | "p2p" | "parallel-p2p"
+    grid: tuple[int, int, int]
+    rdma: bool
+    cells: tuple[int, int, int] = (4, 4, 4)
+    steps: int = 10
+
+    @property
+    def key(self) -> str:
+        """Stable identifier used to match runs across artifacts."""
+        g = "x".join(str(n) for n in self.grid)
+        return f"{self.potential}/{self.pattern}/{g}" + ("/rdma" if self.rdma else "")
+
+    def to_dict(self) -> dict:
+        """JSON-ready form of this configuration."""
+        return {
+            "potential": self.potential,
+            "pattern": self.pattern,
+            "grid": list(self.grid),
+            "rdma": self.rdma,
+            "cells": list(self.cells),
+            "steps": self.steps,
+        }
+
+
+#: The declared suites.  ``smoke`` is the CI gate (seconds); ``full``
+#: covers the whole potential x pattern x grid x rdma lattice.
+SUITES: dict[str, tuple[BenchConfig, ...]] = {
+    "smoke": (
+        BenchConfig("lj", "3stage", (2, 2, 2), rdma=False),
+        BenchConfig("lj", "parallel-p2p", (2, 2, 2), rdma=True),
+        BenchConfig("eam", "parallel-p2p", (2, 2, 2), rdma=True),
+    ),
+    "full": (
+        BenchConfig("lj", "3stage", (2, 2, 2), rdma=False),
+        BenchConfig("lj", "p2p", (2, 2, 2), rdma=False),
+        BenchConfig("lj", "p2p", (2, 2, 2), rdma=True),
+        BenchConfig("lj", "parallel-p2p", (2, 2, 2), rdma=True),
+        BenchConfig("lj", "parallel-p2p", (1, 2, 2), rdma=True),
+        BenchConfig("eam", "3stage", (2, 2, 2), rdma=False),
+        BenchConfig("eam", "parallel-p2p", (2, 2, 2), rdma=True),
+    ),
+}
+
+
+def build_simulation(cfg: BenchConfig):
+    """A fresh Simulation for one bench configuration."""
+    from repro.md.presets import PRESETS
+
+    preset = PRESETS[cfg.potential]
+    return preset.simulation(
+        cfg.cells,
+        cfg.grid,
+        pattern=cfg.pattern,
+        rdma=cfg.rdma,
+        model_machine_time=True,
+        thermo_every=0,
+    )
+
+
+def _stats(samples: list[float]) -> dict:
+    """pytest-benchmark-style summary of repeated wall measurements."""
+    return {
+        "min": min(samples),
+        "max": max(samples),
+        "mean": statistics.fmean(samples),
+        "median": statistics.median(samples),
+        "stddev": statistics.stdev(samples) if len(samples) > 1 else 0.0,
+        "repeats": len(samples),
+    }
+
+
+def run_config(cfg: BenchConfig, repeats: int = 3) -> tuple[dict, object]:
+    """Execute one configuration; returns (run record, critpath tracer).
+
+    The wall breakdown is measured ``repeats`` times; the model
+    breakdown, traffic, and critical path are deterministic and taken
+    from the final repeat.
+    """
+    from repro.core.modeling import modeled_exchange_time
+    from repro.md.stages import Stage
+    from repro.obs import observe
+    from repro.obs.critpath import analyze_critical_path
+    from repro.obs.trace import Tracer
+
+    wall_samples: dict[str, list[float]] = {s: [] for s in STAGES}
+    total_samples: list[float] = []
+    sim = None
+    for _ in range(max(repeats, 1)):
+        sim = build_simulation(cfg)
+        sim.run(cfg.steps)
+        for stage in Stage:
+            wall_samples[stage.value].append(sim.timers.wall[stage])
+        total_samples.append(sim.timers.total_wall())
+
+    model = {s.value: sim.timers.model[s] for s in Stage}
+    log = sim.world.transport.log
+    phases = sorted({m.phase for m in log.messages})
+    traffic = {
+        ph: {"count": log.summary(ph).count, "bytes": log.summary(ph).total_bytes}
+        for ph in phases
+    }
+
+    # Critical path of the modeled forward exchange (rank 0's schedule).
+    with observe(metrics=False) as (tracer, _):
+        modeled_exchange_time(sim.exchange, "forward", rank=0)
+    cp = analyze_critical_path(tracer)
+    snapshot = Tracer()
+    snapshot.spans = list(tracer.spans)
+    snapshot.instants = list(tracer.instants)
+
+    record = {
+        "key": cfg.key,
+        "config": {**cfg.to_dict(), "atoms": sim.natoms},
+        "wall": {
+            "stages": {s: _stats(v) for s, v in wall_samples.items()},
+            "total": _stats(total_samples),
+        },
+        "model": {"stages": model, "total": sum(model.values())},
+        "traffic": traffic,
+        "critpath": {
+            "completion": cp.completion - cp.base,
+            "messages": cp.messages,
+            "wire_segments": cp.wire_segments,
+            "attribution": dict(cp.attribution),
+            "top": cp.top_bottleneck(),
+        },
+    }
+    return record, (snapshot, cp)
+
+
+def model_tables() -> dict:
+    """The Table 1 / Table 3 / Fig. 13-headline model outputs."""
+    from repro.figures import fig13, table1
+    from repro.perfmodel import StageModel, variant_by_name
+
+    t1 = table1.compute()
+    model = StageModel()
+    table3 = []
+    for pot, w in (("lj", fig13.lj_workload()), ("eam", fig13.eam_workload())):
+        for vname in ("ref", "opt"):
+            r = model.step_times(w, 36864, variant_by_name(vname))
+            table3.append(
+                {
+                    "workload": w.name,
+                    "variant": vname,
+                    "nodes": 36864,
+                    "stages": dict(r.stages),
+                    "total": r.total,
+                }
+            )
+
+    def speedup(pot: str) -> float:
+        ref = next(e for e in table3 if e["workload"].startswith(pot) and e["variant"] == "ref")
+        opt = next(e for e in table3 if e["workload"].startswith(pot) and e["variant"] == "opt")
+        return ref["total"] / opt["total"]
+
+    return {
+        "table1": {
+            "msgs_3stage": t1.three_stage.total_messages,
+            "msgs_p2p": t1.p2p.total_messages,
+            "volume_ratio": t1.volume_ratio,
+            "bytes_3stage": t1.three_stage.total_bytes,
+            "bytes_p2p": t1.p2p.total_bytes,
+        },
+        "table3": table3,
+        "fig13": {"lj_speedup_36864": speedup("lj"), "eam_speedup_36864": speedup("eam")},
+    }
+
+
+def run_suite(
+    suite: str = "smoke",
+    repeats: int = 3,
+    label: str = "local",
+    trace_dir: str | None = None,
+) -> dict:
+    """Run a declared suite; returns the ``repro-bench/1`` document."""
+    if suite not in SUITES:
+        raise ValueError(f"unknown suite {suite!r}; choose from {sorted(SUITES)}")
+    runs = []
+    for cfg in SUITES[suite]:
+        record, (tracer, cp) = run_config(cfg, repeats)
+        runs.append(record)
+        if trace_dir is not None:
+            from repro.obs.critpath import critpath_counter_events
+            from repro.obs.export import write_chrome_trace
+
+            name = record["key"].replace("/", "-")
+            write_chrome_trace(
+                f"{trace_dir}/trace_{name}.json",
+                tracer,
+                extra_events=critpath_counter_events(cp),
+            )
+    doc = {
+        "schema": SCHEMA,
+        "label": label,
+        "suite": suite,
+        "meta": {
+            "generator": "repro.obs.bench",
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "repeats": repeats,
+            "unix_time": time.time(),
+        },
+        "runs": runs,
+        "model_tables": model_tables(),
+    }
+    validate_bench_doc(doc)
+    return doc
+
+
+# -- schema ---------------------------------------------------------------
+def _require(cond: bool, path: str, why: str) -> None:
+    if not cond:
+        raise ValueError(f"bench document invalid at {path}: {why}")
+
+
+def validate_bench_doc(doc: dict) -> int:
+    """Validate a ``repro-bench/1`` document; returns the run count.
+
+    Raises :class:`ValueError` naming the first offending path — the
+    same contract as ``validate_chrome_trace``.
+    """
+    _require(isinstance(doc, dict), "$", "not an object")
+    _require(doc.get("schema") == SCHEMA, "$.schema", f"expected {SCHEMA!r}, got {doc.get('schema')!r}")
+    _require(isinstance(doc.get("label"), str), "$.label", "missing string label")
+    _require(isinstance(doc.get("meta"), dict), "$.meta", "missing meta object")
+    runs = doc.get("runs")
+    _require(isinstance(runs, list) and runs, "$.runs", "missing non-empty runs array")
+    seen = set()
+    for i, run in enumerate(runs):
+        ctx = f"$.runs[{i}]"
+        _require(isinstance(run, dict), ctx, "not an object")
+        key = run.get("key")
+        _require(isinstance(key, str) and bool(key), f"{ctx}.key", "missing key")
+        _require(key not in seen, f"{ctx}.key", f"duplicate key {key!r}")
+        seen.add(key)
+        _require(isinstance(run.get("config"), dict), f"{ctx}.config", "missing config")
+        wall = run.get("wall")
+        _require(isinstance(wall, dict), f"{ctx}.wall", "missing wall stats")
+        for part in ("stages", "total"):
+            _require(part in wall, f"{ctx}.wall.{part}", "missing")
+        for s in STAGES:
+            st = wall["stages"].get(s)
+            _require(isinstance(st, dict), f"{ctx}.wall.stages.{s}", "missing stage stats")
+            for k in ("min", "max", "mean", "median", "stddev", "repeats"):
+                v = st.get(k)
+                _require(
+                    isinstance(v, (int, float)) and not math.isnan(v) and v >= 0,
+                    f"{ctx}.wall.stages.{s}.{k}",
+                    f"invalid {v!r}",
+                )
+        model = run.get("model")
+        _require(isinstance(model, dict) and isinstance(model.get("stages"), dict),
+                 f"{ctx}.model", "missing model stages")
+        for s in STAGES:
+            v = model["stages"].get(s)
+            _require(isinstance(v, (int, float)) and v >= 0, f"{ctx}.model.stages.{s}", f"invalid {v!r}")
+        traffic = run.get("traffic")
+        _require(isinstance(traffic, dict) and traffic, f"{ctx}.traffic", "missing traffic")
+        for ph, t in traffic.items():
+            _require(
+                isinstance(t, dict) and isinstance(t.get("count"), int) and isinstance(t.get("bytes"), int),
+                f"{ctx}.traffic.{ph}", f"invalid {t!r}",
+            )
+        cp = run.get("critpath")
+        _require(isinstance(cp, dict), f"{ctx}.critpath", "missing critpath")
+        _require(isinstance(cp.get("completion"), (int, float)) and cp["completion"] >= 0,
+                 f"{ctx}.critpath.completion", f"invalid {cp.get('completion')!r}")
+        _require(isinstance(cp.get("attribution"), dict) and cp["attribution"],
+                 f"{ctx}.critpath.attribution", "missing attribution")
+        total = sum(cp["attribution"].values())
+        _require(
+            abs(total - cp["completion"]) <= 1e-9 * max(cp["completion"], 1e-12),
+            f"{ctx}.critpath.attribution",
+            f"sums to {total!r}, not completion {cp['completion']!r}",
+        )
+    tables = doc.get("model_tables")
+    _require(isinstance(tables, dict), "$.model_tables", "missing")
+    for name in ("table1", "table3", "fig13"):
+        _require(name in tables, f"$.model_tables.{name}", "missing")
+    return len(runs)
+
+
+# -- compare --------------------------------------------------------------
+@dataclass(frozen=True)
+class CompareEntry:
+    """One compared metric."""
+
+    path: str
+    old: float
+    new: float
+    group: str
+    mode: str  # "lower_better" | "higher_better" | "match" | "info"
+    tol: float
+    status: str  # "ok" | "improved" | "warn" | "regressed"
+
+    @property
+    def rel(self) -> float:
+        if self.old == 0:
+            return 0.0 if self.new == 0 else math.inf
+        return (self.new - self.old) / self.old
+
+
+@dataclass
+class CompareReport:
+    """Outcome of diffing two bench artifacts."""
+
+    old_label: str
+    new_label: str
+    entries: list[CompareEntry] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[CompareEntry]:
+        return [e for e in self.entries if e.status == "regressed"]
+
+    @property
+    def warnings(self) -> list[CompareEntry]:
+        return [e for e in self.entries if e.status == "warn"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self, verbose: bool = False) -> str:
+        """Text summary; ``verbose`` lists every metric, not just deltas."""
+        lines = [
+            f"bench compare: {self.old_label} -> {self.new_label} "
+            f"({len(self.entries)} metrics)"
+        ]
+        shown = self.entries if verbose else [
+            e for e in self.entries if e.status in ("regressed", "warn", "improved")
+        ]
+        for e in shown:
+            rel = "inf" if math.isinf(e.rel) else f"{100 * e.rel:+.1f}%"
+            lines.append(
+                f"  [{e.status.upper():>9}] {e.path}: {e.old:.6g} -> {e.new:.6g} "
+                f"({rel}, tol {100 * e.tol:g}% [{e.group}])"
+            )
+        lines.append(
+            f"{len(self.regressions)} regression(s), {len(self.warnings)} warning(s) "
+            f"over {len(self.entries)} compared metrics"
+        )
+        return "\n".join(lines)
+
+
+def _classify(old: float, new: float, mode: str, tol: float) -> str:
+    if old == new:
+        return "ok"
+    rel = (new - old) / old if old != 0 else math.inf
+    if mode == "match":
+        return "regressed" if abs(rel) > tol else "ok"
+    if mode == "info":
+        return "warn" if abs(rel) > tol else "ok"
+    if mode == "higher_better":
+        rel = -rel
+    # now: positive rel = slower/worse
+    if rel > tol:
+        return "regressed"
+    if rel < -tol:
+        return "improved"
+    return "ok"
+
+
+def compare(
+    old: dict,
+    new: dict,
+    tolerances: dict | None = None,
+    gate_wall: bool = False,
+) -> CompareReport:
+    """Diff two artifacts; regressions beyond tolerance fail the gate."""
+    validate_bench_doc(old)
+    validate_bench_doc(new)
+    tol = dict(DEFAULT_TOLERANCES)
+    if tolerances:
+        tol.update(tolerances)
+    report = CompareReport(old.get("label", "?"), new.get("label", "?"))
+
+    def add(path, o, n, group, mode):
+        t = tol[group]
+        report.entries.append(
+            CompareEntry(path, float(o), float(n), group, mode,
+                         t, _classify(float(o), float(n), mode, t))
+        )
+
+    new_runs = {r["key"]: r for r in new["runs"]}
+    for run in old["runs"]:
+        key = run["key"]
+        other = new_runs.get(key)
+        if other is None:
+            report.entries.append(
+                CompareEntry(f"runs[{key}]", 1.0, 0.0, "coverage", "match", 0.0, "regressed")
+            )
+            continue
+        for s in STAGES:
+            o = run["model"]["stages"][s]
+            if o > 0 or other["model"]["stages"][s] > 0:
+                add(f"runs[{key}].model.{s}", o, other["model"]["stages"][s],
+                    "model_stage", "lower_better")
+        add(f"runs[{key}].model.total", run["model"]["total"], other["model"]["total"],
+            "model_total", "lower_better")
+        for ph in run["traffic"]:
+            if ph not in other["traffic"]:
+                report.entries.append(
+                    CompareEntry(f"runs[{key}].traffic.{ph}", 1.0, 0.0,
+                                 "traffic_count", "match", 0.0, "regressed")
+                )
+                continue
+            add(f"runs[{key}].traffic.{ph}.count", run["traffic"][ph]["count"],
+                other["traffic"][ph]["count"], "traffic_count", "match")
+            add(f"runs[{key}].traffic.{ph}.bytes", run["traffic"][ph]["bytes"],
+                other["traffic"][ph]["bytes"], "traffic_bytes", "match")
+        add(f"runs[{key}].critpath.completion", run["critpath"]["completion"],
+            other["critpath"]["completion"], "critpath", "lower_better")
+        for cat, secs in run["critpath"]["attribution"].items():
+            add(f"runs[{key}].critpath.{cat}", secs,
+                other["critpath"]["attribution"].get(cat, 0.0), "critpath", "info")
+        wall_mode = "lower_better" if gate_wall else "info"
+        add(f"runs[{key}].wall.total.median", run["wall"]["total"]["median"],
+            other["wall"]["total"]["median"], "wall", wall_mode)
+
+    t1o, t1n = old["model_tables"]["table1"], new["model_tables"]["table1"]
+    for k in ("msgs_3stage", "msgs_p2p", "volume_ratio", "bytes_3stage", "bytes_p2p"):
+        add(f"table1.{k}", t1o[k], t1n[k], "table1", "match")
+    t3n = {(e["workload"], e["variant"]): e for e in new["model_tables"]["table3"]}
+    for e in old["model_tables"]["table3"]:
+        other = t3n.get((e["workload"], e["variant"]))
+        if other is not None:
+            add(f"table3[{e['workload']}/{e['variant']}].total", e["total"],
+                other["total"], "table3", "lower_better")
+    f13o, f13n = old["model_tables"]["fig13"], new["model_tables"]["fig13"]
+    for k in ("lj_speedup_36864", "eam_speedup_36864"):
+        add(f"fig13.{k}", f13o[k], f13n[k], "fig13", "higher_better")
+    return report
+
+
+# -- report ---------------------------------------------------------------
+def render_report(doc: dict) -> str:
+    """Human-readable rendering of one bench artifact."""
+    validate_bench_doc(doc)
+    lines = [
+        f"bench artifact {doc['label']!r} (suite {doc.get('suite', '?')}, "
+        f"{len(doc['runs'])} configs, schema {doc['schema']})",
+    ]
+    for run in doc["runs"]:
+        cp = run["critpath"]
+        w = run["wall"]["total"]
+        lines.append("")
+        lines.append(f"== {run['key']} ({run['config']['atoms']} atoms, "
+                     f"{run['config']['steps']} steps) ==")
+        lines.append(
+            f"  wall total: median {w['median']:.4g}s "
+            f"(min {w['min']:.4g}, stddev {w['stddev']:.2g}, n={w['repeats']})"
+        )
+        lines.append(f"  model Comm: {run['model']['stages']['Comm']:.4g}s")
+        traffic = ", ".join(
+            f"{ph}={t['count']}msg/{t['bytes']}B" for ph, t in sorted(run["traffic"].items())
+        )
+        lines.append(f"  traffic: {traffic}")
+        ranked = sorted(cp["attribution"].items(), key=lambda kv: -kv[1])
+        attr = ", ".join(
+            f"{cat} {100 * secs / cp['completion']:.0f}%" for cat, secs in ranked
+        )
+        lines.append(
+            f"  critical path ({cp['completion'] * 1e6:.2f}us over "
+            f"{cp['messages']} msgs): {attr} -> bottleneck: {cp['top']}"
+        )
+    t1 = doc["model_tables"]["table1"]
+    f13 = doc["model_tables"]["fig13"]
+    lines.append("")
+    lines.append(
+        f"model tables: Table1 {t1['msgs_p2p']} vs {t1['msgs_3stage']} msgs "
+        f"(volume ratio {t1['volume_ratio']:.3f}); Fig13 speedups "
+        f"LJ {f13['lj_speedup_36864']:.2f}x / EAM {f13['eam_speedup_36864']:.2f}x"
+    )
+    return "\n".join(lines)
+
+
+def write_report_csv(path: str, doc: dict) -> None:
+    """CSV: one row per (config, stage) with wall stats + model seconds."""
+    import csv
+
+    validate_bench_doc(doc)
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ["key", "stage", "wall_min", "wall_median", "wall_mean",
+             "wall_stddev", "model_seconds"]
+        )
+        for run in doc["runs"]:
+            for s in STAGES:
+                st = run["wall"]["stages"][s]
+                writer.writerow(
+                    [run["key"], s, repr(st["min"]), repr(st["median"]),
+                     repr(st["mean"]), repr(st["stddev"]),
+                     repr(run["model"]["stages"][s])]
+                )
+
+
+# -- CLI ------------------------------------------------------------------
+def _load(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for the ``run|compare|report`` subcommands."""
+    p = argparse.ArgumentParser(
+        prog="python -m repro.obs.bench",
+        description="Continuous benchmark harness with regression gating.",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a suite and write a BENCH json artifact")
+    run.add_argument("--out", required=True, help="output artifact path (BENCH_PR<k>.json)")
+    run.add_argument("--suite", choices=sorted(SUITES), default="smoke")
+    run.add_argument("--repeats", type=int, default=3)
+    run.add_argument("--label", default=None, help="artifact label (default: out stem)")
+    run.add_argument(
+        "--trace-dir", default=None,
+        help="also write one Perfetto trace (with critical-path counter "
+        "tracks) per configuration into this directory",
+    )
+
+    cmp_ = sub.add_parser("compare", help="diff two artifacts; exit 1 on regression")
+    cmp_.add_argument("baseline")
+    cmp_.add_argument("candidate")
+    cmp_.add_argument("--warn-only", action="store_true",
+                      help="report regressions but exit 0 (first-PR mode)")
+    cmp_.add_argument("--gate-wall", action="store_true",
+                      help="gate wall medians too (same-machine comparisons)")
+    cmp_.add_argument("--verbose", action="store_true", help="print every metric")
+    cmp_.add_argument(
+        "--tol", action="append", default=[], metavar="GROUP=REL",
+        help=f"override a tolerance group, e.g. --tol model_stage=0.1 "
+        f"(groups: {', '.join(sorted(DEFAULT_TOLERANCES))})",
+    )
+
+    rep = sub.add_parser("report", help="render one artifact as text (and CSV)")
+    rep.add_argument("artifact")
+    rep.add_argument("--csv", default=None, help="also write a per-stage CSV")
+    return p
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code (1 = regression)."""
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        label = args.label
+        if label is None:
+            stem = args.out.rsplit("/", 1)[-1]
+            label = stem[:-5] if stem.endswith(".json") else stem
+        doc = run_suite(args.suite, args.repeats, label, args.trace_dir)
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"# bench: {len(doc['runs'])} configs -> {args.out} (schema {SCHEMA})")
+        print(render_report(doc))
+        return 0
+    if args.command == "compare":
+        overrides = {}
+        for spec in args.tol:
+            group, _, value = spec.partition("=")
+            if group not in DEFAULT_TOLERANCES or not value:
+                print(f"error: bad --tol {spec!r}")
+                return 2
+            overrides[group] = float(value)
+        report = compare(
+            _load(args.baseline), _load(args.candidate),
+            tolerances=overrides, gate_wall=args.gate_wall,
+        )
+        print(report.render(verbose=args.verbose))
+        if not report.ok:
+            if args.warn_only:
+                print("WARN: regressions found (ignored: --warn-only)")
+                return 0
+            print("FAIL: perf regression beyond tolerance")
+            return 1
+        print("OK: no regressions beyond tolerance")
+        return 0
+    if args.command == "report":
+        doc = _load(args.artifact)
+        print(render_report(doc))
+        if args.csv:
+            write_report_csv(args.csv, doc)
+            print(f"# csv -> {args.csv}")
+        return 0
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

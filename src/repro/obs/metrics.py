@@ -115,6 +115,33 @@ class Histogram:
         """Average of all observed samples (0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Bucket-interpolated ``q``-th percentile (Prometheus-style).
+
+        Linear interpolation within the containing bucket, ``0`` as the
+        lower edge of the first bucket, and the last finite bound for
+        samples in the ``+Inf`` bucket.  An **empty histogram has no
+        percentiles**: returns ``nan`` (consistently, for every ``q``)
+        rather than letting an index error fall out — callers that need
+        a hard failure can check ``math.isnan``.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if self.count == 0:
+            return math.nan
+        rank = q / 100.0 * self.count
+        cumulative = 0
+        lower = 0.0
+        for bound, n in zip(self.bounds, self.counts):
+            if cumulative + n >= rank and n > 0:
+                frac = (rank - cumulative) / n
+                return lower + frac * (bound - lower)
+            cumulative += n
+            lower = bound
+        # Sample lies in the +Inf bucket: the last finite bound is the
+        # best (and conventional) answer a fixed-bucket histogram has.
+        return self.bounds[-1]
+
     def bucket_counts(self) -> list[tuple[float, int]]:
         """(upper bound, count) pairs, ending with the +Inf bucket."""
         out = [(b, c) for b, c in zip(self.bounds, self.counts)]

@@ -117,3 +117,14 @@ def write_stage_csv(path: str, tracer: Tracer | None = None) -> None:
         writer.writerow(["stage", "wall_seconds", "model_seconds"])
         for stage in Stage:
             writer.writerow([stage.value, wall[stage.value], model[stage.value]])
+
+
+def write_phase_csv(path: str, tracer: Tracer | None = None) -> None:
+    """CSV export of the span-derived traffic table (phase rows sorted)."""
+    summary = phase_summary_from_trace(tracer)
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["phase", "messages", "bytes"])
+        for phase in sorted(summary):
+            t = summary[phase]
+            writer.writerow([t.phase, t.count, t.total_bytes])

@@ -14,7 +14,10 @@ verifies
    message counts/bytes recomputed from the trace equal the
    :class:`~repro.runtime.transport.TrafficLog`, the forward counts
    equal the Table 1 analytic formulas, and the span-derived stage
-   breakdown reproduces :class:`~repro.md.stages.StageTimers` exactly.
+   breakdown reproduces :class:`~repro.md.stages.StageTimers` exactly,
+6. the critical-path analyzer's attribution partitions the modeled
+   exchange time exactly and agrees with the rank's send schedule and
+   the model-clock ``StageTimers`` account.
 
 Returns a structured report; any failed check names itself.
 """
@@ -142,6 +145,7 @@ def run_selfcheck(cells=(4, 4, 4), steps: int = 20, seed: int = 7) -> SelfCheckR
         f"{rereg} re-registrations",
     )
     _observability_checks(report, x, v, box, steps=max(steps // 2, 5))
+    _critpath_checks(report, x, v, box)
     return report
 
 
@@ -214,6 +218,75 @@ def _observability_checks(
         )
         report.add(
             f"trace[{pattern}] stage breakdown reproduces StageTimers",
+            max_err == 0.0,
+            f"max |span sum - timer| = {max_err:.2e}",
+        )
+
+
+def _critpath_checks(
+    report: SelfCheckReport,
+    x: np.ndarray,
+    v: np.ndarray,
+    box,
+) -> None:
+    """Critical-path-vs-model-vs-TrafficLog cross-validation.
+
+    The critical-path analyzer claims its per-category attribution
+    partitions the modeled exchange exactly.  Check that claim against
+    the two independent accounts that already exist:
+
+    * the chain's completion time must equal the scalar
+      :func:`~repro.core.modeling.modeled_exchange_time` returns (same
+      simulator, independent reduction), and the attribution must sum to
+      it within float tolerance;
+    * the number of distinct messages on the analyzer's wire horizon
+      must equal the rank's send schedule — the same per-rank count the
+      :class:`TrafficLog` records once per exchange phase;
+    * with ``model_machine_time`` on, the model-timeline stage breakdown
+      recomputed from spans must reproduce ``StageTimers.model``
+      bit-exactly (both accounts share the accumulated floats).
+    """
+    from repro.core.modeling import modeled_exchange_time
+    from repro.obs import observe
+    from repro.obs.critpath import analyze_critical_path
+    from repro.obs.report import stage_breakdown_from_trace
+
+    for pattern in ("3stage", "parallel-p2p"):
+        cfg = SimulationConfig(
+            dt=0.005, skin=0.3, pattern=pattern, rdma=(pattern != "3stage"),
+            neighbor_every=5, model_machine_time=True,
+        )
+        sim = Simulation(x, v, box, LennardJones(cutoff=2.5), cfg, grid=(2, 2, 2))
+        sim.setup()  # populate the exchange routes the model replays
+
+        with observe(metrics=False) as (tracer, _):
+            modeled = modeled_exchange_time(sim.exchange, "forward", rank=0)
+        cp = analyze_critical_path(tracer)
+
+        tol = 1e-9 * max(modeled, 1e-12)
+        report.add(
+            f"critpath[{pattern}] attribution sums to modeled exchange time",
+            abs(cp.completion - modeled) <= tol
+            and abs(cp.total_attributed - cp.total_time) <= tol,
+            f"modeled {modeled:.3e}s, chain {cp.total_attributed:.3e}s "
+            f"(diff {abs(cp.total_attributed - (cp.completion - cp.base)):.1e})",
+        )
+
+        sends = len(sim.exchange.routes[0].sends)
+        report.add(
+            f"critpath[{pattern}] message count matches rank-0 send schedule",
+            cp.messages == sends,
+            f"chain horizon saw {cp.messages}, TrafficLog schedule has {sends}",
+        )
+
+        with observe(metrics=False) as (tracer, _):
+            sim.run(5)
+            stage_model = stage_breakdown_from_trace(tracer, "model")
+        max_err = max(
+            abs(stage_model[s.value] - sim.timers.model[s]) for s in sim.timers.model
+        )
+        report.add(
+            f"critpath[{pattern}] model stage breakdown reproduces StageTimers",
             max_err == 0.0,
             f"max |span sum - timer| = {max_err:.2e}",
         )

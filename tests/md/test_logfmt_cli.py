@@ -110,3 +110,44 @@ class TestCLI:
         text = format_run_summary(sim)
         assert "Performance:" in text
         assert "Pair" in text
+
+
+class TestObservabilityFlags:
+    ARGS = ["--atoms", "256", "--steps", "3", "--nranks", "2"]
+
+    def test_invalid_trace_path_rejected_before_run(self, tmp_path, capsys):
+        missing_dir = tmp_path / "no" / "such" / "dir" / "t.json"
+        rc = main([*self.ARGS, "--trace", str(missing_dir)])
+        assert rc == 2
+        out = capsys.readouterr().out
+        assert "cannot write trace file" in out
+        # Fail-fast: the run itself never started, so no log header.
+        assert "# repro:" not in out
+
+    def test_trace_file_validates(self, tmp_path, capsys):
+        from repro.obs.export import validate_chrome_trace_file
+
+        path = tmp_path / "t.json"
+        rc = main([*self.ARGS, "--trace", str(path)])
+        assert rc == 0
+        assert validate_chrome_trace_file(str(path)) > 0
+        out = capsys.readouterr().out
+        assert "Span-derived stage breakdown" in out
+
+    def test_metrics_flag_prints_report(self, capsys):
+        rc = main([*self.ARGS, "--metrics"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "metrics report:" in out
+        assert "messages_total" in out
+
+    def test_selfcheck_composes_with_trace(self, tmp_path, capsys):
+        from repro.obs.export import validate_chrome_trace_file
+
+        path = tmp_path / "sc.json"
+        rc = main(["--selfcheck", "--trace", str(path)])
+        assert rc == 0
+        assert validate_chrome_trace_file(str(path)) > 0
+        out = capsys.readouterr().out
+        assert "repro self-check:" in out
+        assert "# trace:" in out

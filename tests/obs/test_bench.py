@@ -1,0 +1,207 @@
+"""Bench harness: schema, determinism, regression gating, CLI."""
+
+import copy
+import json
+
+import pytest
+
+from repro.obs import bench
+from repro.obs.bench import (
+    BenchConfig,
+    SCHEMA,
+    SUITES,
+    compare,
+    render_report,
+    run_config,
+    run_suite,
+    validate_bench_doc,
+    write_report_csv,
+)
+
+
+@pytest.fixture(scope="module")
+def doc():
+    """One real smoke-suite artifact, shared by the read-only tests."""
+    return run_suite("smoke", repeats=1, label="test")
+
+
+class TestRun:
+    def test_schema_validates(self, doc):
+        assert validate_bench_doc(doc) == len(SUITES["smoke"])
+        assert doc["schema"] == SCHEMA
+
+    def test_keys_cover_declared_suite(self, doc):
+        assert {r["key"] for r in doc["runs"]} == {c.key for c in SUITES["smoke"]}
+
+    def test_config_key_format(self):
+        cfg = BenchConfig("eam", "parallel-p2p", (2, 2, 2), rdma=True)
+        assert cfg.key == "eam/parallel-p2p/2x2x2/rdma"
+        assert BenchConfig("lj", "3stage", (2, 2, 2), rdma=False).key == "lj/3stage/2x2x2"
+
+    def test_model_metrics_deterministic(self):
+        cfg = BenchConfig("lj", "3stage", (2, 2, 2), rdma=False, steps=3)
+        a, _ = run_config(cfg, repeats=1)
+        b, _ = run_config(cfg, repeats=1)
+        assert a["model"] == b["model"]
+        assert a["traffic"] == b["traffic"]
+        assert a["critpath"]["attribution"] == b["critpath"]["attribution"]
+
+    def test_critpath_attribution_partitions_completion(self, doc):
+        for run in doc["runs"]:
+            cp = run["critpath"]
+            assert sum(cp["attribution"].values()) == pytest.approx(
+                cp["completion"], rel=1e-9
+            )
+
+    def test_three_stage_vs_p2p_story(self, doc):
+        by_key = {r["key"]: r for r in doc["runs"]}
+        staged = by_key["lj/3stage/2x2x2"]["critpath"]
+        p2p = by_key["lj/parallel-p2p/2x2x2/rdma"]["critpath"]
+        # Fewer, bigger messages but a slower exchange: Table 1's claim.
+        assert staged["messages"] < p2p["messages"]
+        assert staged["completion"] > p2p["completion"]
+
+    def test_model_tables_present(self, doc):
+        t = doc["model_tables"]
+        assert (t["table1"]["msgs_p2p"], t["table1"]["msgs_3stage"]) == (13, 6)
+        assert t["fig13"]["lj_speedup_36864"] > 2.0
+        assert t["fig13"]["eam_speedup_36864"] > 1.5
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValueError, match="unknown suite"):
+            run_suite("nope")
+
+
+class TestValidate:
+    def test_rejects_wrong_schema(self, doc):
+        bad = copy.deepcopy(doc)
+        bad["schema"] = "repro-bench/0"
+        with pytest.raises(ValueError, match=r"\$\.schema"):
+            validate_bench_doc(bad)
+
+    def test_rejects_duplicate_keys(self, doc):
+        bad = copy.deepcopy(doc)
+        bad["runs"].append(copy.deepcopy(bad["runs"][0]))
+        with pytest.raises(ValueError, match="duplicate key"):
+            validate_bench_doc(bad)
+
+    def test_rejects_broken_attribution(self, doc):
+        bad = copy.deepcopy(doc)
+        bad["runs"][0]["critpath"]["attribution"]["wire"] *= 2
+        with pytest.raises(ValueError, match="attribution"):
+            validate_bench_doc(bad)
+
+    def test_error_names_offending_path(self, doc):
+        bad = copy.deepcopy(doc)
+        del bad["runs"][1]["wall"]["stages"]["Comm"]
+        with pytest.raises(ValueError, match=r"runs\[1\]\.wall\.stages\.Comm"):
+            validate_bench_doc(bad)
+
+
+def regress(doc, key="lj/3stage/2x2x2", factor=1.10):
+    """Copy of ``doc`` with one config's Comm model time inflated."""
+    bad = copy.deepcopy(doc)
+    for run in bad["runs"]:
+        if run["key"] == key:
+            run["model"]["stages"]["Comm"] *= factor
+            run["model"]["total"] = sum(run["model"]["stages"].values())
+    return bad
+
+
+class TestCompare:
+    def test_identical_artifacts_pass(self, doc):
+        report = compare(doc, doc)
+        assert report.ok
+        assert report.regressions == []
+
+    def test_ten_percent_stage_regression_fails(self, doc):
+        report = compare(doc, regress(doc, factor=1.10))
+        assert not report.ok
+        paths = {e.path for e in report.regressions}
+        assert "runs[lj/3stage/2x2x2].model.Comm" in paths
+
+    def test_within_tolerance_passes(self, doc):
+        assert compare(doc, regress(doc, factor=1.02)).ok
+
+    def test_improvement_is_not_a_regression(self, doc):
+        report = compare(doc, regress(doc, factor=0.80))
+        assert report.ok
+        assert any(e.status == "improved" for e in report.entries)
+
+    def test_speedup_drop_is_a_regression(self, doc):
+        bad = copy.deepcopy(doc)
+        bad["model_tables"]["fig13"]["lj_speedup_36864"] *= 0.85
+        report = compare(doc, bad)
+        assert any(
+            e.path == "fig13.lj_speedup_36864" and e.status == "regressed"
+            for e in report.entries
+        )
+
+    def test_missing_run_is_a_regression(self, doc):
+        bad = copy.deepcopy(doc)
+        bad["runs"] = [r for r in bad["runs"] if r["key"] != "lj/3stage/2x2x2"]
+        report = compare(doc, bad)
+        assert any(e.path == "runs[lj/3stage/2x2x2]" for e in report.regressions)
+
+    def test_traffic_shift_is_a_regression_both_directions(self, doc):
+        for factor in (0.9, 1.1):
+            bad = copy.deepcopy(doc)
+            run = next(r for r in bad["runs"] if r["key"] == "lj/3stage/2x2x2")
+            run["traffic"]["forward"]["count"] = int(
+                run["traffic"]["forward"]["count"] * factor
+            )
+            assert not compare(doc, bad).ok
+
+    def test_tolerance_override(self, doc):
+        bad = regress(doc, factor=1.10)
+        assert compare(doc, bad, tolerances={"model_stage": 0.2, "model_total": 0.2}).ok
+
+    def test_wall_noise_warns_not_gates(self, doc):
+        bad = copy.deepcopy(doc)
+        for run in bad["runs"]:
+            for stats in [*run["wall"]["stages"].values(), run["wall"]["total"]]:
+                for k in ("min", "max", "mean", "median"):
+                    stats[k] *= 3.0
+        report = compare(doc, bad)
+        assert report.ok
+        assert report.warnings
+        assert not compare(doc, bad, gate_wall=True).ok
+
+    def test_render_mentions_regressed_path(self, doc):
+        text = compare(doc, regress(doc)).render()
+        assert "REGRESSED" in text and "model.Comm" in text
+
+
+class TestCLI:
+    def test_run_compare_report_roundtrip(self, doc, tmp_path, capsys, monkeypatch):
+        base = tmp_path / "base.json"
+        cand = tmp_path / "cand.json"
+        base.write_text(json.dumps(doc))
+        cand.write_text(json.dumps(regress(doc)))
+
+        assert bench.main(["compare", str(base), str(base)]) == 0
+        assert bench.main(["compare", str(base), str(cand)]) == 1
+        assert bench.main(["compare", str(base), str(cand), "--warn-only"]) == 0
+        assert bench.main(
+            ["compare", str(base), str(cand), "--tol", "model_stage=0.2",
+             "--tol", "model_total=0.2"]
+        ) == 0
+        assert bench.main(["compare", str(base), str(cand), "--tol", "bogus=1"]) == 2
+
+        csv_path = tmp_path / "bench.csv"
+        assert bench.main(["report", str(base), "--csv", str(csv_path)]) == 0
+        out = capsys.readouterr().out
+        assert "lj/3stage/2x2x2" in out
+        header = csv_path.read_text().splitlines()[0]
+        assert header.startswith("key,stage,wall_min")
+
+    def test_report_renderer(self, doc):
+        text = render_report(doc)
+        assert "bottleneck" in text
+        assert "Fig13 speedups" in text
+
+    def test_csv_writer_row_count(self, doc, tmp_path):
+        path = tmp_path / "r.csv"
+        write_report_csv(str(path), doc)
+        rows = path.read_text().splitlines()
+        assert len(rows) == 1 + 5 * len(doc["runs"])

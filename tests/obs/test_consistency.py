@@ -121,3 +121,18 @@ class TestRenderers:
         wall = {r.split(",")[0]: float(r.split(",")[1]) for r in rows[1:]}
         for stage in Stage:
             assert wall[stage.value] == pytest.approx(sim.timers.wall[stage])
+
+    def test_phase_csv_matches_traffic_log(self, run, tmp_path):
+        from repro.obs.report import write_phase_csv
+
+        sim, tracer = run
+        path = tmp_path / "phases.csv"
+        write_phase_csv(str(path), tracer)
+        rows = path.read_text().strip().splitlines()
+        assert rows[0] == "phase,messages,bytes"
+        log = sim.world.transport.log
+        parsed = {r.split(",")[0]: r.split(",")[1:] for r in rows[1:]}
+        assert set(parsed) == {m.phase for m in log.messages}
+        for phase, (count, nbytes) in parsed.items():
+            s = log.summary(phase)
+            assert (int(count), int(nbytes)) == (s.count, s.total_bytes)

@@ -70,6 +70,41 @@ class TestHistogram:
             Histogram("x", {}, ())
 
 
+class TestHistogramPercentile:
+    def test_empty_returns_nan_consistently(self):
+        h = Histogram("x", {}, (1.0, 2.0))
+        for q in (0.0, 50.0, 99.0, 100.0):
+            assert math.isnan(h.percentile(q))
+
+    def test_out_of_range_q_rejected(self):
+        h = Histogram("x", {}, (1.0,))
+        with pytest.raises(ValueError):
+            h.percentile(-1)
+        with pytest.raises(ValueError):
+            h.percentile(100.5)
+
+    def test_interpolates_within_bucket(self):
+        # 10 samples all landing in (0, 100]: median interpolates to 50.
+        h = Histogram("x", {}, (100.0, 200.0))
+        for _ in range(10):
+            h.observe(42.0)
+        assert h.percentile(50) == pytest.approx(50.0)
+        assert h.percentile(100) == pytest.approx(100.0)
+
+    def test_crosses_buckets(self):
+        h = Histogram("x", {}, (1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 3.5):
+            h.observe(v)
+        # p25 tops out the first bucket, p75 lands inside (2, 4].
+        assert h.percentile(25) == pytest.approx(1.0)
+        assert 2.0 < h.percentile(75) <= 4.0
+
+    def test_overflow_bucket_clamps_to_last_bound(self):
+        h = Histogram("x", {}, (1.0, 2.0))
+        h.observe(1000.0)
+        assert h.percentile(99) == 2.0
+
+
 class TestRegistry:
     def test_create_on_first_use_returns_same_instrument(self):
         r = MetricsRegistry()
