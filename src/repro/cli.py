@@ -60,6 +60,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the built-in cross-validation battery and exit",
     )
     p.add_argument(
+        "--faults", metavar="PLAN.json", default=None,
+        help="inject a replayable FaultPlan (see docs/fault_injection.md); "
+        "with --selfcheck, also verifies every fault is absorbed and the "
+        "ghost region stays bit-identical to the fault-free run",
+    )
+    p.add_argument(
         "--trace", metavar="PATH", default=None,
         help="record a span/event trace and write it as Chrome trace-event "
         "JSON (open in Perfetto: https://ui.perfetto.dev)",
@@ -112,10 +118,19 @@ def main(argv=None) -> int:
 
         METRICS.reset()
         METRICS.enabled = True
+    fault_plan = None
+    if args.faults is not None:
+        from repro.faults import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.load(args.faults)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load fault plan {args.faults!r}: {exc}")
+            return 2
     if args.selfcheck:
         from repro.selfcheck import run_selfcheck
 
-        report = run_selfcheck()
+        report = run_selfcheck(fault_plan=fault_plan)
         print(report.render())
         # --trace/--metrics compose with --selfcheck: the battery's last
         # observed round is exported like a normal run's trace would be.
@@ -149,12 +164,43 @@ def main(argv=None) -> int:
         f"pattern={sim.config.pattern}"
         f"{' +rdma' if sim.config.rdma else ''}, {steps} steps"
     )
-    sim.setup()
-    sim.samples.append(sim.sample_thermo())
-    sim.run(steps)
+    fault_session = None
+    try:
+        if fault_plan is not None:
+            from repro.faults import FAULTS
+
+            with FAULTS.inject(fault_plan) as fault_session:
+                sim.setup()
+                sim.samples.append(sim.sample_thermo())
+                sim.run(steps)
+        else:
+            sim.setup()
+            sim.samples.append(sim.sample_thermo())
+            sim.run(steps)
+    except Exception as exc:
+        from repro.faults.injector import FaultError
+
+        if isinstance(exc, FaultError):
+            # The degradation ladder ran out of tiers: report, don't dump
+            # a traceback — the plan simply was not survivable.
+            print(f"# fault injection: run did not survive the plan: {exc}")
+            if fault_session is not None:
+                print(fault_session.render())
+            return 1
+        raise
     if sim.samples[-1].step != sim.step_count:
         sim.samples.append(sim.sample_thermo())
     print(format_run_summary(sim))
+    if fault_session is not None:
+        print()
+        print(fault_session.render())
+        if sim.degradations:
+            ladder = " -> ".join(
+                [sim.degradations[0][0]] + [t for _, t in sim.degradations]
+            )
+            print(f"# degraded: {ladder}")
+        if fault_session.stats.unabsorbed:
+            return 1
     if args.trace is not None:
         from repro.obs.export import write_chrome_trace
         from repro.obs.report import render_phase_table, render_stage_table

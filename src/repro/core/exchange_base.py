@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.faults.injector import FAULTS, RetryExhaustedError
 from repro.md.atoms import Atoms
 from repro.md.domain import Domain
 from repro.obs.trace import TRACER
@@ -89,6 +90,8 @@ class GhostExchange:
     #: whether the pattern communicates the full 26-neighbor shell
     full_shell: bool = False
     name: str = "abstract"
+    #: next tier of the degradation ladder (None = sturdiest pattern)
+    fallback_pattern: str | None = None
 
     def __init__(self, world: World, domain: Domain, rcomm: float) -> None:
         if world.grid is None:
@@ -101,6 +104,9 @@ class GhostExchange:
         self.routes: dict[int, RankRoutes] = {
             r: RankRoutes() for r in range(world.size)
         }
+        # Robustness-layer accounting (only moves under a fault session).
+        self.retries = 0
+        self.retry_model_time = 0.0
 
     # -- helpers ----------------------------------------------------------
     def atoms_of(self, rank: int) -> Atoms:
@@ -165,6 +171,52 @@ class GhostExchange:
         with self._phase_span("pair-reverse"):
             self._reverse_sum_array(arrays, phase="pair-reverse")
 
+    # -- robust receive (the retry policy layer) -----------------------------
+    def _recv(self, transport, rank: int, peer: int, tag: tuple):
+        """Receive with timeout/backoff retries while faults are active.
+
+        Without a fault session this is exactly ``transport.recv`` (the
+        fault layer must add zero cost when disabled).  With one, a
+        missing message triggers up to ``max_retries`` polls: each poll
+        waits the current timeout (accounted as a ``cat="retry"`` model
+        span and in ``retry_model_time``), ages the mailbox's limbo so
+        held messages can land, and doubles the timeout.  Exhaustion —
+        or an exceeded fault budget — escalates so the driver can fall
+        back along :attr:`fallback_pattern`.
+        """
+        session = FAULTS.session
+        if session is None or not session.message_faults:
+            # No message faults armed: a lockstep recv can never miss.
+            return transport.recv(rank, peer, tag)
+        payload = transport.try_recv(rank, peer, tag)
+        if payload is not None:
+            return payload
+        policy = session.policy
+        timeout = policy.base_timeout
+        with TRACER.span(
+            "recv-retry", cat="retry", track="comm",
+            rank=rank, peer=peer, phase=transport.phase,
+        ):
+            for attempt in range(1, policy.max_retries + 1):
+                session.check_budget()
+                session.note_retry(transport.phase)
+                self.retries += 1
+                self.retry_model_time += timeout
+                TRACER.model_span_seq(
+                    "retry-backoff", timeout, cat="retry", track="comm",
+                    attempt=attempt, rank=rank, peer=peer, phase=transport.phase,
+                )
+                transport.fault_poll(rank, peer, tag)
+                payload = transport.try_recv(rank, peer, tag)
+                if payload is not None:
+                    return payload
+                timeout *= policy.backoff
+        raise RetryExhaustedError(
+            f"rank {rank} gave up on {peer} tag {tag!r} after "
+            f"{policy.max_retries} retries (phase {transport.phase!r}, "
+            f"pattern {self.name!r})"
+        )
+
     # Subclasses may override for staged execution or RDMA data planes.
     def _forward_array(
         self, arrays: dict[int, np.ndarray], apply_shift: bool, phase: str
@@ -181,7 +233,7 @@ class GhostExchange:
         for rank in range(self.world.size):
             data = arrays[rank]
             for route in self.routes[rank].recvs:
-                payload = transport.recv(rank, route.peer, route.tag + (phase,))
+                payload = self._recv(transport, rank, route.peer, route.tag + (phase,))
                 lo, n = route.recv_start, route.recv_count
                 data[lo : lo + n] = payload
 
@@ -197,8 +249,14 @@ class GhostExchange:
                 )
         for rank in range(self.world.size):
             data = arrays[rank]
-            for route in self.routes[rank].sends:
-                payload = transport.recv(rank, route.peer, route.tag + (phase,))
+            # Collect every contribution before applying any: an
+            # escalation mid-sweep must not leave a half-summed array
+            # behind (the post-degradation force recompute relies on it).
+            received = [
+                self._recv(transport, rank, route.peer, route.tag + (phase,))
+                for route in self.routes[rank].sends
+            ]
+            for route, payload in zip(self.routes[rank].sends, received):
                 np.add.at(data, route.send_idx, payload)
 
     # -- migration -------------------------------------------------------------

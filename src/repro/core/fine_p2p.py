@@ -46,6 +46,9 @@ class FineGrainedP2PExchange(P2PExchange):
     """Thread-pool-parallel p2p: same data, parallel injection schedule."""
 
     name = "parallel-p2p"
+    # First rung of the degradation ladder: same routes, single-threaded
+    # injection — then coarse p2p's own fallback reaches 3-stage.
+    fallback_pattern = "p2p"
 
     def __init__(
         self,

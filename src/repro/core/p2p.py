@@ -38,7 +38,8 @@ from repro.core.patterns import (
     offset_hops,
     shell_offsets,
 )
-from repro.core.rdma_buffers import RdmaEndpoint
+from repro.core.rdma_buffers import BufferOverwriteError, RdmaEndpoint
+from repro.faults.injector import FAULTS, RetryExhaustedError
 from repro.machine.rdma import RdmaEngine
 from repro.md.domain import Domain
 from repro.obs.trace import TRACER
@@ -49,6 +50,7 @@ class P2PExchange(GhostExchange):
     """Direct per-neighbor ghost exchange, message or RDMA data plane."""
 
     name = "p2p"
+    fallback_pattern = "3stage"
 
     def __init__(
         self,
@@ -197,8 +199,8 @@ class P2PExchange(GhostExchange):
             for o_recv in self.recv_offsets:
                 src = self.peer_for(rank, o_recv)
                 tag = self._routes_tag(o_recv)
-                payload_x, payload_tag, payload_type = transport.recv(
-                    rank, src, tag + ("border",)
+                payload_x, payload_tag, payload_type = self._recv(
+                    transport, rank, src, tag + ("border",)
                 )
                 start, count = atoms.append_ghosts(payload_x, payload_tag, payload_type)
                 self.routes[rank].recvs.append(
@@ -244,8 +246,8 @@ class P2PExchange(GhostExchange):
         for rank in range(self.world.size):
             endpoint = self.endpoints[rank]
             for s_idx, route in enumerate(self.routes[rank].sends):
-                n_idx, window = transport.recv(
-                    rank, route.peer, route.tag + ("window",)
+                n_idx, window = self._recv(
+                    transport, rank, route.peer, route.tag + ("window",)
                 )
                 # Keyed by *our* send index; remembers the neighbor's ring
                 # index so reverse-stage puts target the right ring.
@@ -274,6 +276,9 @@ class P2PExchange(GhostExchange):
                 for s_idx, route in enumerate(self.routes[rank].sends):
                     packed = atoms.x[route.send_idx] + route.shift
                     endpoint.put_positions(s_idx, packed)
+            # A PUT completes remotely only after the fence: poll until
+            # every in-flight (fault-deferred) forward PUT has landed.
+            self._rdma_fence("forward")
 
     def _reverse_sum_array(self, arrays, phase: str) -> None:
         if self.rdma and phase == "reverse":
@@ -312,7 +317,7 @@ class P2PExchange(GhostExchange):
                 ring = endpoint.recv_rings[
                     self._owner_ring_index(rank, route.peer, route.tag)
                 ]
-                data = ring.consume()
+                data = self._consume_ring(ring, rank, route)
                 forces = split(data, trailing_shape=(3,))
                 if forces.shape[0] != route.count:
                     raise RuntimeError(
@@ -320,6 +325,81 @@ class P2PExchange(GhostExchange):
                         f"match {route.count} border atoms"
                     )
                 np.add.at(atoms.f, route.send_idx, forces)
+
+    # -- RDMA-plane robustness (fence + ring retry) ---------------------------
+    def _rdma_fence(self, stage: str) -> None:
+        """Poll until every in-flight (fault-deferred) PUT has landed.
+
+        The message-plane analogue is :meth:`_recv`'s retry loop; here
+        each attempt waits the backoff timeout and ages the deferred-PUT
+        store.  Without a fault session — or with nothing in flight —
+        this returns immediately.
+        """
+        session = FAULTS.session
+        if session is None or session.pending_deferred() == 0:
+            return
+        policy = session.policy
+        timeout = policy.base_timeout
+        with TRACER.span(
+            "rdma-fence", cat="retry", track="comm", stage=stage, pattern=self.name
+        ):
+            for attempt in range(1, policy.max_retries + 1):
+                session.check_budget()
+                session.note_retry(stage)
+                self.retries += 1
+                self.retry_model_time += timeout
+                TRACER.model_span_seq(
+                    "retry-backoff", timeout, cat="retry", track="comm",
+                    attempt=attempt, phase=stage,
+                )
+                session.release_tick()
+                if session.pending_deferred() == 0:
+                    return
+                timeout *= policy.backoff
+        raise RetryExhaustedError(
+            f"{session.pending_deferred()} RDMA PUT(s) still in flight after "
+            f"{policy.max_retries} fence polls (stage {stage!r}, "
+            f"pattern {self.name!r})"
+        )
+
+    def _consume_ring(self, ring, rank: int, route) -> np.ndarray:
+        """Consume a receive ring, retrying while its PUT is in flight.
+
+        A ring-stale fault leaves the buffer clean (the §3.4 hazard:
+        nothing marks it written yet), so :meth:`RecvBufferRing.consume`
+        raises; each retry ages the deferred store until the PUT lands.
+        """
+        session = FAULTS.session
+        if session is None:
+            return ring.consume()
+        try:
+            return ring.consume()
+        except BufferOverwriteError:
+            pass
+        policy = session.policy
+        timeout = policy.base_timeout
+        with TRACER.span(
+            "ring-retry", cat="retry", track="comm",
+            rank=rank, peer=route.peer, pattern=self.name,
+        ):
+            for attempt in range(1, policy.max_retries + 1):
+                session.check_budget()
+                session.note_retry("reverse")
+                self.retries += 1
+                self.retry_model_time += timeout
+                TRACER.model_span_seq(
+                    "retry-backoff", timeout, cat="retry", track="comm",
+                    attempt=attempt, rank=rank, peer=route.peer, phase="reverse",
+                )
+                session.release_tick()
+                try:
+                    return ring.consume()
+                except BufferOverwriteError:
+                    timeout *= policy.backoff
+        raise RetryExhaustedError(
+            f"rank {rank} ring from {route.peer} still stale after "
+            f"{policy.max_retries} retries (pattern {self.name!r})"
+        )
 
     def _owner_ring_index(self, owner: int, ghost_holder: int, tag: tuple) -> int:
         """Which of the owner's rings serves this (peer, offset) route.

@@ -230,6 +230,24 @@ class RdmaEndpoint:
         cursor discipline is what we are modeling).  Returns bytes sent.
         """
         from repro.core.message_combine import write_into
+        from repro.faults.injector import FAULTS
+
+        session = FAULTS.session
+        if session is not None:
+            ticks = session.rdma_defer("ring-stale", self.rank)
+            if ticks > 0:
+                # The ring PUT is in flight: the consumer sees a clean
+                # buffer (the §3.4 hazard) until the deferred write —
+                # acquire + encode, preserving cursor discipline — lands
+                # after ``ticks`` consume-retry polls.
+                data = np.ascontiguousarray(payload, dtype=np.float64).ravel().copy()
+
+                def land(ring=remote_ring, data=data) -> None:
+                    _, region = ring.acquire_for_write()
+                    write_into(region.data, data)
+
+                session.defer(ticks, land, "ring-stale")
+                return (data.size + 1) * 8
 
         _, region = remote_ring.acquire_for_write()
         n = write_into(region.data, payload)

@@ -125,8 +125,8 @@ class ThreeStageExchange(GhostExchange):
             atoms = self.atoms_of(rank)
             o_send = tuple(direction if d == dim else 0 for d in range(3))
             src = world.neighbor_rank(rank, tuple(-o for o in o_send))
-            payload_x, payload_tag, payload_type = transport.recv(
-                rank, src, tag + ("border",)
+            payload_x, payload_tag, payload_type = self._recv(
+                transport, rank, src, tag + ("border",)
             )
             start, count = atoms.append_ghosts(payload_x, payload_tag, payload_type)
             self.routes[rank].recvs.append(
@@ -151,7 +151,9 @@ class ThreeStageExchange(GhostExchange):
             for rank in range(self.world.size):
                 route = self.routes[rank].recvs[k]
                 data = arrays[rank]
-                payload = transport.recv(rank, route.peer, route.tag + (phase,))
+                payload = self._recv(
+                    transport, rank, route.peer, route.tag + (phase,)
+                )
                 lo, n = route.recv_start, route.recv_count
                 data[lo : lo + n] = payload
 
@@ -168,8 +170,16 @@ class ThreeStageExchange(GhostExchange):
                 transport.send(
                     rank, route.peer, route.tag + (phase,), np.array(data[lo : lo + n])
                 )
+            # Collect the whole swap before applying any sum so an
+            # escalation mid-swap leaves no half-applied contributions
+            # (inter-swap applies must still happen: the next swap of
+            # the backward replay forwards what this one accumulated).
+            received = []
             for rank in range(self.world.size):
                 route = self.routes[rank].sends[k]
-                data = arrays[rank]
-                payload = transport.recv(rank, route.peer, route.tag + (phase,))
-                np.add.at(data, route.send_idx, payload)
+                received.append(
+                    self._recv(transport, rank, route.peer, route.tag + (phase,))
+                )
+            for rank in range(self.world.size):
+                route = self.routes[rank].sends[k]
+                np.add.at(arrays[rank], route.send_idx, received[rank])

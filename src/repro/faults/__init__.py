@@ -1,0 +1,67 @@
+"""repro.faults — deterministic, replayable fault injection.
+
+The chaos layer for the reproduction: a seed-driven
+:class:`~repro.faults.plan.FaultPlan` perturbs the message plane
+(drop/delay/reorder), the simulated machine timeline (TNI stalls,
+VCQ-credit exhaustion, injection jitter), and the one-sided RDMA plane
+(stale windows and receive rings — the §3.4 round-robin hazard), while
+the robustness policy layer in :mod:`repro.core.exchange_base` retries
+with exponential backoff and degrades fine-p2p → coarse-p2p →
+three-stage when a plan exceeds its budget.
+
+Typical use::
+
+    from repro.faults import FAULTS, FaultPlan
+
+    plan = FaultPlan.load("examples/faultplan_smoke.json")
+    with FAULTS.inject(plan) as session:
+        sim.run(20)
+    print(session.render())
+
+or from the CLI: ``python -m repro --selfcheck --faults plan.json``.
+See docs/fault_injection.md for the taxonomy, schema, and ladder.
+"""
+
+from __future__ import annotations
+
+from repro.faults.injector import (
+    FAULTS,
+    FaultBudgetExceededError,
+    FaultError,
+    FaultEscalation,
+    FaultInjector,
+    FaultSession,
+    FaultStats,
+    RetryExhaustedError,
+)
+from repro.faults.plan import (
+    EXEMPT_PHASES,
+    FAULT_KINDS,
+    MESSAGE_KINDS,
+    RDMA_KINDS,
+    SCHEMA,
+    TIMING_KINDS,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+)
+
+__all__ = [
+    "FAULTS",
+    "FaultBudgetExceededError",
+    "FaultError",
+    "FaultEscalation",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSession",
+    "FaultSpec",
+    "FaultStats",
+    "RetryExhaustedError",
+    "RetryPolicy",
+    "EXEMPT_PHASES",
+    "FAULT_KINDS",
+    "MESSAGE_KINDS",
+    "TIMING_KINDS",
+    "RDMA_KINDS",
+    "SCHEMA",
+]

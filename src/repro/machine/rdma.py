@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.faults.injector import FAULTS
 from repro.machine.params import FUGAKU, MachineParams
 from repro.obs.metrics import METRICS
 from repro.obs.trace import TRACER
@@ -167,9 +168,26 @@ class RdmaEngine:
         src.check_range(src_offset, count)
         dst = self.cache_for(dst_rank).lookup(dst_stag)
         dst.check_range(dst_offset, count)
-        dst.data[dst_offset : dst_offset + count] = src.data[
-            src_offset : src_offset + count
-        ]
+        session = FAULTS.session
+        deferred = False
+        if session is not None:
+            ticks = session.rdma_defer("rdma-stale", src.owner_rank)
+            if ticks > 0:
+                # The PUT is issued but still in flight: snapshot the
+                # source now (the sender may reuse its buffer) and land
+                # the bytes only after ``ticks`` fence polls — until
+                # then the remote window shows the previous epoch.
+                data = src.data[src_offset : src_offset + count].copy()
+
+                def land(dst=dst, off=dst_offset, data=data) -> None:
+                    dst.data[off : off + data.size] = data
+
+                session.defer(ticks, land, "rdma-stale")
+                deferred = True
+        if not deferred:
+            dst.data[dst_offset : dst_offset + count] = src.data[
+                src_offset : src_offset + count
+            ]
         self.put_count += 1
         self.bytes_put += count * src.data.itemsize
         if METRICS.enabled:

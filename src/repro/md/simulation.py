@@ -24,12 +24,14 @@ prices this driver's communication schedules.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.exchange_base import GhostExchange
 from repro.core.fine_p2p import FineGrainedP2PExchange
+from repro.faults.injector import FAULTS, FaultEscalation
 from repro.core.p2p import P2PExchange
 from repro.core.three_stage import ThreeStageExchange
 from repro.md.atoms import Atoms
@@ -109,8 +111,11 @@ class Simulation:
                 f"{config.shell_radius} x sub-box {sub_len:.3f}; increase "
                 "shell_radius or use fewer ranks"
             )
+        self._rcomm = rcomm
         self.exchange = self._make_exchange(rcomm)
         self.half = config.newton and not potential.needs_full_list
+        #: (from_pattern, to_pattern) of every fault-driven tier change
+        self.degradations: list[tuple[str, str]] = []
 
         settings = NeighborSettings(
             cutoff=potential.cutoff,
@@ -120,6 +125,7 @@ class Simulation:
             half=self.half,
             ghost_rule=self.exchange.ghost_rule,
         )
+        self._neigh_settings = settings
         self.integrator = NVEIntegrator(config.dt, config.mass)
         self.fixes = list(fixes) if fixes else []
         self.thermo = Thermo(box.volume, config.mass)
@@ -148,10 +154,17 @@ class Simulation:
         self._setup_done = False
 
     # ------------------------------------------------------------------
-    def _make_exchange(self, rcomm: float) -> GhostExchange:
+    def _make_exchange(
+        self,
+        rcomm: float,
+        pattern: str | None = None,
+        rdma: bool | None = None,
+    ) -> GhostExchange:
         cfg = self.config
+        pattern = cfg.pattern if pattern is None else pattern
+        rdma = cfg.rdma if rdma is None else rdma
         newton = cfg.newton and not self.potential.needs_full_list
-        if cfg.pattern == "3stage":
+        if pattern == "3stage":
             if not newton:
                 # Full shell is what 3-stage builds anyway; the list type
                 # is decided by `half` below.
@@ -159,27 +172,84 @@ class Simulation:
             return ThreeStageExchange(
                 self.world, self.domain, rcomm, radius=cfg.shell_radius
             )
-        if cfg.pattern == "p2p":
+        if pattern == "p2p":
             return P2PExchange(
                 self.world,
                 self.domain,
                 rcomm,
                 newton=newton,
                 radius=cfg.shell_radius,
-                rdma=cfg.rdma,
+                rdma=rdma,
                 use_border_bins=cfg.use_border_bins,
             )
-        if cfg.pattern == "parallel-p2p":
+        if pattern == "parallel-p2p":
             return FineGrainedP2PExchange(
                 self.world,
                 self.domain,
                 rcomm,
                 newton=newton,
                 radius=cfg.shell_radius,
-                rdma=cfg.rdma,
+                rdma=rdma,
                 use_border_bins=cfg.use_border_bins,
             )
-        raise ValueError(f"unknown communication pattern {cfg.pattern!r}")
+        raise ValueError(f"unknown communication pattern {pattern!r}")
+
+    # -- graceful degradation (fault-budget escalation) -----------------
+    def _degrade(self, exc: FaultEscalation) -> None:
+        """Fall back along the pattern ladder after an escalation.
+
+        fine-p2p -> coarse-p2p -> 3-stage: each tier rebuilds the
+        exchange on the plain message plane, purges in-flight traffic of
+        the abandoned attempt, refreshes the neighbor lists (the ghost
+        rule may change), and re-establishes migration + borders + lists
+        from the ranks' still-consistent owned atoms.  If re-establishing
+        a tier escalates again, the ladder continues; when no tier is
+        left the original error propagates.
+        """
+        while True:
+            fallback = self.exchange.fallback_pattern
+            session = FAULTS.session
+            if fallback is None or session is None:
+                raise exc
+            from_pattern = self.exchange.name
+            session.on_degrade(from_pattern, fallback)
+            self.degradations.append((from_pattern, fallback))
+            self.world.transport.purge()
+            self.exchange = self._make_exchange(
+                self._rcomm, pattern=fallback, rdma=False
+            )
+            self._neigh_settings = dataclasses.replace(
+                self._neigh_settings, ghost_rule=self.exchange.ghost_rule
+            )
+            for rank in range(self.world.size):
+                self.world.ranks[rank].state["neigh"] = NeighborList(
+                    self._neigh_settings
+                )
+            try:
+                with self.timers.timing(Stage.COMM):
+                    self.exchange.exchange()
+                    self.exchange.borders()
+                with self.timers.timing(Stage.NEIGH):
+                    for rank in range(self.world.size):
+                        atoms = self.atoms_of(rank)
+                        self.neigh_of(rank).build(atoms.x, atoms.nlocal)
+                return
+            except FaultEscalation as next_exc:
+                exc = next_exc
+
+    def _compute_forces_robust(self) -> None:
+        """Force computation that survives mid-phase escalations.
+
+        ``_compute_forces`` zeroes forces first, so after a degradation
+        (which re-established ghosts and neighbor lists) it can simply
+        run again from scratch — no partial sums survive.
+        """
+        while True:
+            try:
+                self._compute_forces()
+                return
+            except FaultEscalation as exc:
+                self._degrade(exc)
 
     def atoms_of(self, rank: int) -> Atoms:
         """The atom storage of ``rank``."""
@@ -193,14 +263,18 @@ class Simulation:
     def setup(self) -> None:
         """Initial borders + neighbor lists + forces (LAMMPS setup())."""
         with TRACER.span("setup", cat="step", track="run", pattern=self.config.pattern):
-            with self.timers.timing(Stage.COMM):
-                self.exchange.exchange()
-                self.exchange.borders()
-            with self.timers.timing(Stage.NEIGH):
-                for rank in range(self.world.size):
-                    atoms = self.atoms_of(rank)
-                    self.neigh_of(rank).build(atoms.x, atoms.nlocal)
-            self._compute_forces()
+            try:
+                with self.timers.timing(Stage.COMM):
+                    self.exchange.exchange()
+                    self.exchange.borders()
+                with self.timers.timing(Stage.NEIGH):
+                    for rank in range(self.world.size):
+                        atoms = self.atoms_of(rank)
+                        self.neigh_of(rank).build(atoms.x, atoms.nlocal)
+            except FaultEscalation as exc:
+                # _degrade re-establishes borders + lists on the new tier.
+                self._degrade(exc)
+            self._compute_forces_robust()
             self._setup_done = True
 
     def _compute_forces(self) -> None:
@@ -280,17 +354,25 @@ class Simulation:
 
         rebuilt = self._needs_rebuild()
         if rebuilt:
-            with self.timers.timing(Stage.COMM):
-                self.exchange.exchange()
-                self.exchange.borders()
-            with self.timers.timing(Stage.NEIGH):
-                for rank in range(self.world.size):
-                    atoms = self.atoms_of(rank)
-                    self.neigh_of(rank).build(atoms.x, atoms.nlocal)
+            try:
+                with self.timers.timing(Stage.COMM):
+                    self.exchange.exchange()
+                    self.exchange.borders()
+                with self.timers.timing(Stage.NEIGH):
+                    for rank in range(self.world.size):
+                        atoms = self.atoms_of(rank)
+                        self.neigh_of(rank).build(atoms.x, atoms.nlocal)
+            except FaultEscalation as exc:
+                self._degrade(exc)
             self.rebuilds += 1
         else:
-            with self.timers.timing(Stage.COMM):
-                self.exchange.forward()
+            try:
+                with self.timers.timing(Stage.COMM):
+                    self.exchange.forward()
+            except FaultEscalation as exc:
+                # The re-established borders carry current positions, so
+                # no separate forward re-run is needed.
+                self._degrade(exc)
 
         if self.config.model_machine_time:
             from repro.core.modeling import modeled_step_comm_time
@@ -300,7 +382,7 @@ class Simulation:
                 modeled_step_comm_time(self.exchange, rebuilt, newton=self.half),
             )
 
-        self._compute_forces()
+        self._compute_forces_robust()
 
         with self.timers.timing(Stage.MODIFY):
             for rank in range(self.world.size):

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.faults.injector import FAULTS
 from repro.machine.params import FUGAKU, MachineParams
 from repro.network.events import Resource
 from repro.network.stacks import SoftwareStack, UtofuStack
@@ -116,6 +117,7 @@ def simulate_round(
 
     trace_on = TRACER.enabled
     metrics_on = METRICS.enabled
+    session = FAULTS.session
     if trace_on:
         # A fresh round (no chained clocks/engines) gets its own base on
         # the simulated timeline; chained rounds reuse the current one.
@@ -148,19 +150,49 @@ def simulate_round(
         last_vcq[key] = msg.tni
 
         arrival = clock
+        injector = f"rank{msg.rank}/thr{msg.thread}"
         for i in range(n_wire):
             # A length-prefix protocol message is tiny; the payload is last.
             nbytes = 8 if (n_wire > 1 and i < n_wire - 1) else msg.nbytes
+
+            if session is not None:
+                # Timing faults delay the injector before the descriptor
+                # is written; each fault span ends exactly where the
+                # inject span starts so the critical-path chain stays
+                # contiguous (partition exactness).
+                wait = session.vcq_credit_wait(msg.rank, msg.thread, msg.tni)
+                if wait > 0.0:
+                    if trace_on:
+                        TRACER.add_model_span(
+                            "vcq-credit", base + clock, wait,
+                            cat="fault", track=injector, tni=msg.tni,
+                            msg=msg_id, seg=i, stage=stage,
+                        )
+                    clock += wait
+                jitter = session.injection_jitter(msg.rank, msg.thread, msg.tni)
+                if jitter > 0.0:
+                    if trace_on:
+                        TRACER.add_model_span(
+                            "inject-jitter", base + clock, jitter,
+                            cat="fault", track=injector, tni=msg.tni,
+                            msg=msg_id, seg=i, stage=stage,
+                        )
+                    clock += jitter
+
             inj_start = clock
             clock += stack.injection_interval(nbytes)
             inject_time = clock
 
             engine = engines.setdefault(msg.tni, Resource(f"tni{msg.tni}"))
             serial = max(nbytes / params.link_bandwidth, params.tni_engine_message_time)
-            eng_start, _eng_end = engine.acquire(inject_time, serial)
+            # A stalled TNI engine holds the message longer; the hold
+            # extends the engine occupancy so queued successors also wait.
+            tstall = session.tni_stall(msg.tni) if session is not None else 0.0
+            eng_start, _eng_end = engine.acquire(inject_time, serial + tstall)
 
             arrival = (
                 eng_start
+                + tstall
                 + serial
                 + stack.software_latency(nbytes)
                 + params.rdma_put_latency
@@ -172,7 +204,6 @@ def simulate_round(
                 METRICS.counter("injections_total").inc()
                 METRICS.counter("tni_busy_seconds", tni=str(msg.tni)).inc(serial)
             if trace_on:
-                injector = f"rank{msg.rank}/thr{msg.thread}"
                 TRACER.add_model_span(
                     "inject", base + inj_start, clock - inj_start,
                     cat="inject", track=injector, nbytes=nbytes, tni=msg.tni,
@@ -184,13 +215,20 @@ def simulate_round(
                         cat="queue", track=injector, tni=msg.tni,
                         msg=msg_id, seg=i, stage=stage,
                     )
+                if tstall > 0.0:
+                    TRACER.add_model_span(
+                        "tni-stall", base + eng_start, tstall,
+                        cat="fault", track=f"tni{msg.tni}", rank=msg.rank,
+                        thread=msg.thread, msg=msg_id, seg=i, stage=stage,
+                    )
                 TRACER.add_model_span(
-                    "tni-engine", base + eng_start, serial,
+                    "tni-engine", base + eng_start + tstall, serial,
                     cat="tni", track=f"tni{msg.tni}", nbytes=nbytes, rank=msg.rank,
                     thread=msg.thread, msg=msg_id, seg=i, stage=stage,
                 )
                 TRACER.add_model_span(
-                    "wire", base + eng_start + serial, arrival - eng_start - serial,
+                    "wire", base + eng_start + tstall + serial,
+                    arrival - eng_start - tstall - serial,
                     cat="wire", track=injector, hops=msg.hops, nbytes=nbytes,
                     msg=msg_id, seg=i, stage=stage,
                 )

@@ -93,9 +93,16 @@ class BenchConfig:
 
 
 #: The declared suites.  ``smoke`` is the CI gate (seconds); ``full``
-#: covers the whole potential x pattern x grid x rdma lattice.
+#: covers the whole potential x pattern x grid x rdma lattice;
+#: ``faults-off`` reruns the smoke configs and additionally proves the
+#: disabled fault-injection layer is free (:func:`fault_overhead_guard`).
 SUITES: dict[str, tuple[BenchConfig, ...]] = {
     "smoke": (
+        BenchConfig("lj", "3stage", (2, 2, 2), rdma=False),
+        BenchConfig("lj", "parallel-p2p", (2, 2, 2), rdma=True),
+        BenchConfig("eam", "parallel-p2p", (2, 2, 2), rdma=True),
+    ),
+    "faults-off": (
         BenchConfig("lj", "3stage", (2, 2, 2), rdma=False),
         BenchConfig("lj", "parallel-p2p", (2, 2, 2), rdma=True),
         BenchConfig("eam", "parallel-p2p", (2, 2, 2), rdma=True),
@@ -198,6 +205,121 @@ def run_config(cfg: BenchConfig, repeats: int = 3) -> tuple[dict, object]:
     return record, (snapshot, cp)
 
 
+#: Relative wall-clock overhead the *disabled* fault layer may add.
+OVERHEAD_LIMIT = 0.02
+
+
+def _traffic_shape(sim) -> dict:
+    """Per-phase (count, bytes) of one run's traffic log."""
+    log = sim.world.transport.log
+    return {
+        ph: (log.summary(ph).count, log.summary(ph).total_bytes)
+        for ph in sorted({m.phase for m in log.messages})
+    }
+
+
+def fault_overhead_guard(repeats: int = 5) -> dict:
+    """Prove the fault-injection layer is free when it has nothing to do.
+
+    Runs every smoke configuration twice per repeat — plain, and inside
+    an *empty* :class:`~repro.faults.plan.FaultPlan` session (layer
+    active, zero faults scheduled) — interleaved so machine drift hits
+    both arms equally, and checks per configuration:
+
+    * the modeled stage seconds are **exactly** equal: an armed-but-idle
+      session must add zero modeled time;
+    * the traffic shape (per-phase message counts and bytes) is exactly
+      equal: envelope wrapping must not change what is sent;
+    * the wall overhead stays under :data:`OVERHEAD_LIMIT`.  Scheduler
+      noise is bursty and one-sided (a burst only slows a sample), so
+      the estimate is the minimum of the min-over-samples ratio and the
+      best interleaved pair ratio — a lower bound that converges to the
+      true overhead and never false-fails on noise; when it still reads
+      over the limit, sampling escalates (up to 4x) before concluding.
+      The deterministic equality checks are the hard gate; the wall
+      bound is the smoke alarm for gross overhead regressions.
+    """
+    from repro.faults import FAULTS, FaultPlan
+    from repro.md.stages import Stage
+
+    plan = FaultPlan(seed=0, faults=())
+    entries = []
+    for cfg in SUITES["smoke"]:
+        off_wall: list[float] = []
+        on_wall: list[float] = []
+        off_model = on_model = None
+        off_traffic = on_traffic = None
+
+        def sample_pair() -> None:
+            nonlocal off_model, on_model, off_traffic, on_traffic
+            sim = build_simulation(cfg)
+            sim.run(cfg.steps)
+            off_wall.append(sim.timers.total_wall())
+            off_model = {s.value: sim.timers.model[s] for s in Stage}
+            off_traffic = _traffic_shape(sim)
+
+            sim = build_simulation(cfg)
+            with FAULTS.inject(plan):
+                sim.run(cfg.steps)
+            on_wall.append(sim.timers.total_wall())
+            on_model = {s.value: sim.timers.model[s] for s in Stage}
+            on_traffic = _traffic_shape(sim)
+
+        def overhead_now() -> float:
+            # Scheduler noise only ever *slows* a sample, so both the
+            # min-over-samples ratio and the best interleaved pair are
+            # upper bounds contaminated from above; their minimum is the
+            # tightest noise-immune estimate of the true overhead.
+            if min(off_wall) <= 0:
+                return 0.0
+            global_ratio = min(on_wall) / min(off_wall)
+            pair_ratio = min(on / off for on, off in zip(on_wall, off_wall))
+            return min(global_ratio, pair_ratio) - 1.0
+
+        for _ in range(max(repeats, 1)):
+            sample_pair()
+        # Real overhead survives more samples; scheduler noise does not.
+        # Keep sampling (up to 4x) while the min-ratio looks over limit.
+        while overhead_now() >= OVERHEAD_LIMIT and len(off_wall) < 4 * max(repeats, 1):
+            sample_pair()
+        overhead = overhead_now()
+        entry = {
+            "key": cfg.key,
+            "model_equal": off_model == on_model,
+            "traffic_equal": off_traffic == on_traffic,
+            "wall_off_min": min(off_wall),
+            "wall_on_min": min(on_wall),
+            "overhead": overhead,
+            "samples": len(off_wall),
+            "ok": off_model == on_model
+            and off_traffic == on_traffic
+            and overhead < OVERHEAD_LIMIT,
+        }
+        entries.append(entry)
+    return {
+        "limit": OVERHEAD_LIMIT,
+        "entries": entries,
+        "ok": all(e["ok"] for e in entries),
+    }
+
+
+def render_fault_guard(guard: dict) -> str:
+    """Text summary of one :func:`fault_overhead_guard` result."""
+    lines = [
+        f"fault-layer overhead guard (limit {100 * guard['limit']:g}% wall, "
+        "model/traffic must match exactly):"
+    ]
+    for e in guard["entries"]:
+        lines.append(
+            f"  [{'OK' if e['ok'] else 'FAIL':>4}] {e['key']}: "
+            f"model {'==' if e['model_equal'] else '!='}, "
+            f"traffic {'==' if e['traffic_equal'] else '!='}, "
+            f"wall {e['wall_off_min']:.4g}s -> {e['wall_on_min']:.4g}s "
+            f"({100 * e['overhead']:+.2f}%)"
+        )
+    return "\n".join(lines)
+
+
 def model_tables() -> dict:
     """The Table 1 / Table 3 / Fig. 13-headline model outputs."""
     from repro.figures import fig13, table1
@@ -274,6 +396,8 @@ def run_suite(
         "runs": runs,
         "model_tables": model_tables(),
     }
+    if suite == "faults-off":
+        doc["fault_guard"] = fault_overhead_guard(repeats)
     validate_bench_doc(doc)
     return doc
 
@@ -348,6 +472,14 @@ def validate_bench_doc(doc: dict) -> int:
     _require(isinstance(tables, dict), "$.model_tables", "missing")
     for name in ("table1", "table3", "fig13"):
         _require(name in tables, f"$.model_tables.{name}", "missing")
+    guard = doc.get("fault_guard")
+    if guard is not None:
+        _require(isinstance(guard, dict), "$.fault_guard", "not an object")
+        _require(isinstance(guard.get("ok"), bool), "$.fault_guard.ok", "missing bool")
+        _require(
+            isinstance(guard.get("entries"), list) and guard["entries"],
+            "$.fault_guard.entries", "missing non-empty entries",
+        )
     return len(runs)
 
 
@@ -625,6 +757,13 @@ def main(argv=None) -> int:
             fh.write("\n")
         print(f"# bench: {len(doc['runs'])} configs -> {args.out} (schema {SCHEMA})")
         print(render_report(doc))
+        guard = doc.get("fault_guard")
+        if guard is not None:
+            print()
+            print(render_fault_guard(guard))
+            if not guard["ok"]:
+                print("FAIL: disabled fault layer is not free")
+                return 1
         return 0
     if args.command == "compare":
         overrides = {}

@@ -38,7 +38,7 @@ from dataclasses import dataclass, field
 from repro.obs.trace import MODEL, SpanRecord, TRACER, Tracer
 
 #: Span categories that form the simulated-exchange dependency graph.
-PATH_CATS = ("inject", "queue", "tni", "wire", "vcq", "barrier")
+PATH_CATS = ("inject", "queue", "tni", "wire", "vcq", "barrier", "fault")
 
 #: Human-readable label per attribution category (reports and CSV).
 CATEGORY_LABELS = {
@@ -48,6 +48,7 @@ CATEGORY_LABELS = {
     "vcq": "VCQ-switch stalls",
     "barrier": "inter-stage barriers",
     "queue": "blocked on busy TNI engine",
+    "fault": "injected fault stalls",
     "idle": "unattributed gaps",
 }
 
@@ -143,7 +144,7 @@ def analyze_critical_path(
 
     # -- aggregate busy/blocked per resource (all spans, path or not) ----
     for s in spans:
-        if s.cat in ("tni", "inject", "wire", "vcq", "barrier"):
+        if s.cat in ("tni", "inject", "wire", "vcq", "barrier", "fault"):
             result.resource_busy[s.track] = result.resource_busy.get(s.track, 0.0) + s.dur
         elif s.cat == "queue":
             result.resource_blocked[s.track] = (

@@ -20,12 +20,29 @@ from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from typing import Any, Hashable
 
+from repro.faults.injector import FAULTS, HOLD, REORDER
 from repro.obs.metrics import METRICS, SIZE_BUCKETS
 from repro.obs.trace import TRACER
 
 
 class TransportError(RuntimeError):
     """Raised on protocol misuse (missing message, bad addressing)."""
+
+
+class _Envelope:
+    """Payload wrapper used while a fault session is active.
+
+    The sequence number is assigned per mailbox ``(src, dst, tag)`` in
+    send order; the receive path always pops the lowest sequence still
+    waiting, which transparently restores injection order after a
+    reorder fault or a late limbo release.
+    """
+
+    __slots__ = ("seq", "payload")
+
+    def __init__(self, seq: int, payload: Any) -> None:
+        self.seq = seq
+        self.payload = payload
 
 
 @dataclass(frozen=True)
@@ -143,6 +160,7 @@ class Transport:
             raise ValueError(f"world size must be >= 1, got {size}")
         self.size = size
         self._boxes: dict[tuple[int, int, Hashable], deque[Any]] = defaultdict(deque)
+        self._seq: dict[tuple[int, int, Hashable], int] = defaultdict(int)
         self.log = TrafficLog()
         self.phase = ""
 
@@ -162,7 +180,27 @@ class Transport:
         """
         self._check_rank(src, "source")
         self._check_rank(dst, "destination")
-        self._boxes[(src, dst, tag)].append(payload)
+        key = (src, dst, tag)
+        session = FAULTS.session
+        if session is None or not session.message_faults:
+            self._boxes[key].append(payload)
+        else:
+            # Envelope every message while message faults are armed so
+            # the receive path can restore send order after faults.
+            seq = self._seq[key]
+            self._seq[key] = seq + 1
+            env = _Envelope(seq, payload)
+            verdict = session.on_send(src, dst, tag, self.phase)
+            if verdict is None:
+                self._boxes[key].append(env)
+            elif verdict[0] == HOLD:
+                session.hold(key, seq, payload, verdict[1], verdict[2])
+            elif verdict[0] == REORDER:
+                box = self._boxes[key]
+                box.insert(session.rng.randrange(len(box) + 1), env)
+                session.note_reorder(key)
+            else:  # pragma: no cover - defensive
+                raise TransportError(f"unknown fault verdict {verdict!r}")
         nbytes = _payload_nbytes(payload)
         self.log.record(SentMessage(src, dst, tag, nbytes, self.phase))
         if TRACER.enabled:
@@ -180,6 +218,18 @@ class Transport:
             METRICS.counter("messages_total", phase=self.phase).inc()
             METRICS.histogram("message_size_bytes", buckets=SIZE_BUCKETS).observe(nbytes)
 
+    @staticmethod
+    def _take(box: deque) -> Any:
+        """Pop the next message: FIFO for plain payloads, min-seq for
+        envelopes (restores send order after reorder/limbo release)."""
+        head = box[0]
+        if not isinstance(head, _Envelope):
+            return box.popleft()
+        best = min(range(len(box)), key=lambda i: box[i].seq)
+        env = box[best]
+        del box[best]
+        return env.payload
+
     def recv(self, dst: int, src: int, tag: Hashable) -> Any:
         """Collect the oldest matching message; raises if none is waiting."""
         self._check_rank(dst, "destination")
@@ -190,14 +240,42 @@ class Transport:
                 f"rank {dst} has no message from {src} with tag {tag!r} "
                 f"(phase {self.phase!r})"
             )
-        return box.popleft()
+        return self._take(box)
 
     def try_recv(self, dst: int, src: int, tag: Hashable) -> Any | None:
         """Like :meth:`recv` but returns ``None`` when nothing is waiting."""
         box = self._boxes.get((src, dst, tag))
         if not box:
             return None
-        return box.popleft()
+        return self._take(box)
+
+    def fault_poll(self, dst: int, src: int, tag: Hashable) -> None:
+        """One retry poll: age this mailbox's limbo, redeliver releases.
+
+        Called by the robust receive between backoff attempts; a no-op
+        without an active fault session.
+        """
+        session = FAULTS.session
+        if session is None:
+            return
+        key = (src, dst, tag)
+        released = session.tick(key)
+        if released:
+            box = self._boxes[key]
+            for seq, payload in released:
+                box.append(_Envelope(seq, payload))
+
+    def purge(self) -> int:
+        """Drop all undelivered messages and reset sequence counters.
+
+        Used by the degradation ladder: after a tier change the exchange
+        protocol restarts from scratch, so in-flight traffic of the
+        abandoned attempt must not leak into :meth:`assert_drained`.
+        """
+        dropped = self.pending_count()
+        self._boxes.clear()
+        self._seq.clear()
+        return dropped
 
     def pending_count(self) -> int:
         """Messages deposited but not yet received."""

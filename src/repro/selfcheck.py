@@ -72,8 +72,17 @@ class SelfCheckReport:
         return "\n".join(lines)
 
 
-def run_selfcheck(cells=(4, 4, 4), steps: int = 20, seed: int = 7) -> SelfCheckReport:
-    """Run the full cross-validation battery; returns the report."""
+def run_selfcheck(
+    cells=(4, 4, 4), steps: int = 20, seed: int = 7, fault_plan=None
+) -> SelfCheckReport:
+    """Run the full cross-validation battery; returns the report.
+
+    With a :class:`~repro.faults.plan.FaultPlan`, the fault battery runs
+    last (so a CLI ``--trace`` export shows its fault/retry spans): the
+    plan is injected into a fresh run and the ghost region must come out
+    bit-identical to the fault-free run whenever the retry layer absorbs
+    every fault.
+    """
     report = SelfCheckReport()
     edge = lj_density_to_cell(0.8442)
     x, box = fcc_lattice(cells, edge)
@@ -146,6 +155,8 @@ def run_selfcheck(cells=(4, 4, 4), steps: int = 20, seed: int = 7) -> SelfCheckR
     )
     _observability_checks(report, x, v, box, steps=max(steps // 2, 5))
     _critpath_checks(report, x, v, box)
+    if fault_plan is not None:
+        _fault_checks(report, x, v, box, fault_plan)
     return report
 
 
@@ -290,3 +301,142 @@ def _critpath_checks(
             max_err == 0.0,
             f"max |span sum - timer| = {max_err:.2e}",
         )
+
+
+def _ghost_digest(sim: Simulation) -> str:
+    """SHA-256 over every rank's ghost positions + tags (bit-exact)."""
+    import hashlib
+
+    h = hashlib.sha256()
+    for rank in range(sim.world.size):
+        atoms = sim.atoms_of(rank)
+        h.update(atoms.x[atoms.nlocal : atoms.ntotal].tobytes())
+        h.update(atoms.tag[atoms.nlocal : atoms.ntotal].tobytes())
+    return h.hexdigest()
+
+
+def _fault_checks(
+    report: SelfCheckReport,
+    x: np.ndarray,
+    v: np.ndarray,
+    box,
+    plan,
+    steps: int = 8,
+) -> None:
+    """The tentpole invariant: faults must be absorbed without a trace.
+
+    Runs the fine-p2p+RDMA variant (every fault kind has a target there)
+    fault-free and under ``plan``, and checks:
+
+    * faults actually fired and every one was absorbed (or, for a
+      non-absorbable plan, degraded cleanly with no unabsorbed leftovers);
+    * if no degradation happened, the final ghost region is
+      **bit-identical** to the fault-free run; after a degradation the
+      trajectory still matches to integration precision;
+    * fault and retry events appear in the trace (Perfetto-exportable);
+    * the plan replays: a second injection reproduces the exact trace
+      event sequence and fault statistics;
+    * the critical path still partitions a faulted exchange round exactly.
+    """
+    from repro.core.modeling import modeled_exchange_time
+    from repro.faults.injector import FAULTS
+    from repro.obs import observe
+    from repro.obs.critpath import analyze_critical_path
+
+    def build() -> Simulation:
+        cfg = SimulationConfig(
+            dt=0.005, skin=0.3, pattern="parallel-p2p", rdma=True,
+            neighbor_every=4, model_machine_time=True,
+        )
+        return Simulation(x, v, box, LennardJones(cutoff=2.5), cfg, grid=(2, 2, 2))
+
+    def trace_key(tracer):
+        wall = [(s.name, s.cat, s.track) for s in tracer.spans if s.clock == "wall"]
+        model = [
+            (s.name, s.cat, s.track, s.ts, s.dur)
+            for s in tracer.spans
+            if s.clock == "model"
+        ]
+        inst = [(e.name, e.cat, e.track) for e in tracer.instants]
+        return wall, model, inst
+
+    baseline = build()
+    baseline.run(steps)
+    digest0 = _ghost_digest(baseline)
+    pos0 = baseline.gather_positions()
+
+    faulted = build()
+    with observe(metrics=False) as (tracer, _):
+        with FAULTS.inject(plan) as session:
+            faulted.run(steps)
+        wall1, model1, inst1 = trace_key(tracer)
+    stats1 = session.stats
+
+    report.add(
+        "faults injected by plan",
+        stats1.total_injected() > 0,
+        f"{stats1.total_injected()} fired: "
+        + ", ".join(f"{k}={n}" for k, n in sorted(stats1.injected.items())),
+    )
+    report.add(
+        "all faults absorbed or degraded cleanly",
+        stats1.unabsorbed == 0,
+        f"{stats1.absorbed} absorbed over {stats1.retries} retries, "
+        f"{stats1.degradations} degradation(s), {stats1.unabsorbed} unabsorbed",
+    )
+    if stats1.degradations == 0:
+        report.add(
+            "ghost region bit-identical to fault-free run",
+            _ghost_digest(faulted) == digest0
+            and np.array_equal(faulted.gather_positions(), pos0),
+            f"digest {digest0[:12]}…",
+        )
+    else:
+        dev = float(np.abs(box.minimum_image(faulted.gather_positions() - pos0)).max())
+        report.add(
+            "trajectory preserved across degradation",
+            dev < 1e-9,
+            f"max deviation {dev:.2e} after "
+            + " -> ".join([plan and faulted.degradations[0][0]]
+                          + [t for _, t in faulted.degradations]),
+        )
+
+    fault_events = len([e for e in inst1 if e[1] == "fault"]) + len(
+        [s for s in model1 if s[1] == "fault"]
+    )
+    retry_events = len([s for s in wall1 if s[1] == "retry"]) + len(
+        [s for s in model1 if s[1] == "retry"]
+    )
+    report.add(
+        "fault and retry spans present in trace",
+        fault_events > 0 and retry_events > 0,
+        f"{fault_events} fault events, {retry_events} retry spans",
+    )
+
+    cp_sim = build()
+    with FAULTS.inject(plan):
+        cp_sim.setup()
+        with observe(metrics=False) as (tracer, _):
+            modeled = modeled_exchange_time(cp_sim.exchange, "forward", rank=0)
+        cp = analyze_critical_path(tracer)
+    tol = 1e-9 * max(modeled, 1e-12)
+    report.add(
+        "critpath partitions faulted exchange exactly",
+        abs(cp.completion - modeled) <= tol
+        and abs(cp.total_attributed - cp.total_time) <= tol,
+        f"modeled {modeled:.3e}s, attributed {cp.total_attributed:.3e}s",
+    )
+
+    # Replay last so the global tracer (what ``--trace`` exports) holds
+    # the full faulted run, fault and retry spans included.
+    replay = build()
+    with observe(metrics=False) as (tracer, _):
+        with FAULTS.inject(plan) as session2:
+            replay.run(steps)
+        wall2, model2, inst2 = trace_key(tracer)
+    report.add(
+        "fault plan replays deterministically",
+        (wall1, model1, inst1) == (wall2, model2, inst2)
+        and stats1 == session2.stats,
+        f"{len(wall1)}+{len(model1)} spans, {len(inst1)} instants reproduced",
+    )

@@ -1,0 +1,54 @@
+"""The faults-off bench guard: an idle fault layer must be free.
+
+The wall-clock bound is gated by the bench CLI (where adaptive sampling
+can take its time); here we assert the deterministic halves hard — the
+armed-but-empty session changes neither modeled time nor traffic — and
+only sanity-bound the wall ratio, so the test never flakes on a noisy
+runner.
+"""
+
+from repro.obs.bench import (
+    SUITES,
+    fault_overhead_guard,
+    render_fault_guard,
+)
+
+
+class TestFaultOverheadGuard:
+    def test_idle_layer_is_deterministically_free(self):
+        guard = fault_overhead_guard(repeats=1)
+        assert {e["key"] for e in guard["entries"]} == {
+            cfg.key for cfg in SUITES["smoke"]
+        }
+        for entry in guard["entries"]:
+            # The hard guarantees: zero modeled time added, traffic
+            # byte-for-byte identical.
+            assert entry["model_equal"], entry["key"]
+            assert entry["traffic_equal"], entry["key"]
+            # Wall sanity bound only (the 2% gate lives in the CLI).
+            assert entry["overhead"] < 0.5, entry
+
+    def test_render_names_every_config(self):
+        guard = {
+            "limit": 0.02,
+            "ok": False,
+            "entries": [
+                {
+                    "key": "lj/3stage/2x2x2",
+                    "model_equal": True,
+                    "traffic_equal": False,
+                    "wall_off_min": 0.1,
+                    "wall_on_min": 0.11,
+                    "overhead": 0.1,
+                    "samples": 5,
+                    "ok": False,
+                }
+            ],
+        }
+        text = render_fault_guard(guard)
+        assert "lj/3stage/2x2x2" in text
+        assert "FAIL" in text
+
+    def test_faults_off_suite_declared(self):
+        assert "faults-off" in SUITES
+        assert SUITES["faults-off"] == SUITES["smoke"]

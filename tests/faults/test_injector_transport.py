@@ -1,0 +1,160 @@
+"""Fault session + transport integration: envelopes, limbo, budget, purge."""
+
+import pytest
+
+from repro.faults import (
+    FAULTS,
+    FaultBudgetExceededError,
+    FaultError,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+)
+from repro.runtime.transport import Transport, _Envelope
+
+
+def plan_of(*faults, **policy):
+    return FaultPlan(seed=3, policy=RetryPolicy(**policy), faults=tuple(faults))
+
+
+class TestEnvelopeProtocol:
+    def test_idle_session_sends_plain_payloads(self):
+        """No message faults armed -> no envelopes, zero-cost send path."""
+        t = Transport(2)
+        t.set_phase("border")
+        with FAULTS.inject(plan_of(FaultSpec("tni-stall", stall=1e-6))):
+            t.send(0, 1, "m", 1.0)
+            assert not isinstance(t._boxes[(0, 1, "m")][0], _Envelope)
+            assert t.recv(1, 0, "m") == 1.0
+
+    def test_reorder_restored_by_sequence_numbers(self):
+        t = Transport(2)
+        t.set_phase("border")
+        plan = plan_of(FaultSpec("reorder", phases=("border",)))
+        with FAULTS.inject(plan) as session:
+            for i in range(8):
+                t.send(0, 1, "m", i)
+            assert session.stats.injected.get("reorder", 0) > 0
+            # The mailbox itself is shuffled...
+            box = list(t._boxes[(0, 1, "m")])
+            assert all(isinstance(e, _Envelope) for e in box)
+            # ...but the receive path restores send order exactly.
+            assert [t.recv(1, 0, "m") for _ in range(8)] == list(range(8))
+        assert session.stats.unabsorbed == 0
+
+    def test_exchange_phase_is_exempt(self):
+        t = Transport(2)
+        t.set_phase("exchange")
+        with FAULTS.inject(plan_of(FaultSpec("drop", severity=1))) as session:
+            t.send(0, 1, "m", "payload")
+            assert t.recv(1, 0, "m") == "payload"
+        assert session.stats.total_injected() == 0
+
+
+class TestDropDelayLimbo:
+    def test_drop_held_until_enough_polls(self):
+        t = Transport(2)
+        t.set_phase("border")
+        with FAULTS.inject(plan_of(FaultSpec("drop", severity=2, count=1))) as session:
+            t.send(0, 1, "m", 7.0)
+            assert t.try_recv(1, 0, "m") is None  # in limbo, not delivered
+            t.fault_poll(1, 0, "m")  # poll 1 of 2
+            assert t.try_recv(1, 0, "m") is None
+            t.fault_poll(1, 0, "m")  # poll 2 releases it
+            assert t.try_recv(1, 0, "m") == 7.0
+            assert session.stats.absorbed == 1
+        assert session.stats.unabsorbed == 0
+
+    def test_traffic_log_counts_held_messages(self):
+        """Held messages are still *sent*: accounting stays fault-free-identical."""
+        t = Transport(2)
+        t.set_phase("border")
+        with FAULTS.inject(plan_of(FaultSpec("drop", severity=1, count=1))):
+            t.send(0, 1, "m", 1.0)
+        assert t.log.count() == 1
+
+    def test_unreleased_limbo_counts_unabsorbed(self):
+        t = Transport(2)
+        t.set_phase("border")
+        with FAULTS.inject(plan_of(FaultSpec("drop", severity=5, count=1))) as session:
+            t.send(0, 1, "m", 1.0)
+        assert session.stats.unabsorbed == 1
+
+    def test_count_limits_firings(self):
+        t = Transport(2)
+        t.set_phase("border")
+        with FAULTS.inject(plan_of(FaultSpec("drop", severity=1, count=2))) as session:
+            for i in range(5):
+                t.send(0, 1, "m", i)
+            assert session.stats.injected["drop"] == 2
+            t.fault_poll(1, 0, "m")
+            # Delivered messages plus the two released ones, in order.
+            assert [t.recv(1, 0, "m") for _ in range(5)] == list(range(5))
+
+
+class TestBudgetAndPurge:
+    def test_budget_exceeded_raises(self):
+        t = Transport(2)
+        t.set_phase("border")
+        plan = plan_of(FaultSpec("drop", severity=1), fault_budget=1)
+        with FAULTS.inject(plan) as session:
+            t.send(0, 1, "a", 1)
+            session.check_budget()  # 1 injected <= budget 1
+            t.send(0, 1, "b", 2)
+            with pytest.raises(FaultBudgetExceededError):
+                session.check_budget()
+            t.fault_poll(1, 0, "a")
+            t.fault_poll(1, 0, "b")
+
+    def test_purge_clears_boxes_and_sequences(self):
+        t = Transport(2)
+        t.set_phase("border")
+        with FAULTS.inject(plan_of(FaultSpec("reorder", count=1))):
+            t.send(0, 1, "m", 1)
+            t.send(0, 1, "m", 2)
+            assert t.purge() == 2
+            assert t.pending_count() == 0
+            # Sequence counters restart: the next envelope is seq 0 again.
+            t.send(0, 1, "m", 3)
+            assert t._boxes[(0, 1, "m")][0].seq == 0
+            t.purge()
+
+    def test_nested_sessions_rejected(self):
+        with FAULTS.inject(FaultPlan()):
+            with pytest.raises(FaultError, match="already active"):
+                FAULTS.activate(FaultPlan())
+
+    def test_degrade_writes_off_limbo(self):
+        t = Transport(2)
+        t.set_phase("border")
+        with FAULTS.inject(plan_of(FaultSpec("drop", severity=9, count=1))) as session:
+            t.send(0, 1, "m", 1)
+            session.on_degrade("parallel-p2p", "p2p")
+        assert session.stats.degradations == 1
+        assert session.stats.degraded_casualties == 1
+        assert session.stats.unabsorbed == 0  # written off, not leaked
+
+
+class TestDeterminism:
+    def test_same_plan_same_verdicts(self):
+        plan = plan_of(
+            FaultSpec("drop", probability=0.4, severity=1),
+            FaultSpec("reorder", probability=0.3),
+        )
+
+        def run():
+            t = Transport(2)
+            t.set_phase("border")
+            verdicts = []
+            with FAULTS.inject(plan) as session:
+                for i in range(30):
+                    t.send(0, 1, "m", i)
+                verdicts = dict(session.stats.injected)
+                for _ in range(5):
+                    t.fault_poll(1, 0, "m")
+                got = [t.recv(1, 0, "m") for _ in range(30)]
+            return verdicts, got
+
+        assert run() == run()
+        # And the retry layer restored order despite the faults.
+        assert run()[1] == list(range(30))

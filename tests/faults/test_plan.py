@@ -1,0 +1,127 @@
+"""FaultPlan / FaultSpec / RetryPolicy: validation, round-trip, absorbability."""
+
+import json
+
+import pytest
+
+from repro.faults import SCHEMA, FaultPlan, FaultSpec, RetryPolicy
+from repro.faults.plan import FAULT_KINDS, MESSAGE_KINDS, RDMA_KINDS, TIMING_KINDS
+
+
+class TestSpecValidation:
+    def test_kinds_partition(self):
+        assert set(FAULT_KINDS) == set(MESSAGE_KINDS) | set(TIMING_KINDS) | set(RDMA_KINDS)
+        assert len(FAULT_KINDS) == len(MESSAGE_KINDS) + len(TIMING_KINDS) + len(RDMA_KINDS)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("bitflip")
+
+    @pytest.mark.parametrize("p", [-0.1, 1.5])
+    def test_probability_bounds(self, p):
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec("drop", probability=p)
+
+    def test_timing_kind_requires_stall(self):
+        with pytest.raises(ValueError, match="positive stall"):
+            FaultSpec("tni-stall")
+        FaultSpec("tni-stall", stall=1e-6)  # fine
+
+    def test_exempt_phase_rejected(self):
+        with pytest.raises(ValueError, match="exempt"):
+            FaultSpec("drop", phases=("exchange",))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"count": 0}, {"severity": 0}, {"stall": -1.0}, {"credits": 0}],
+    )
+    def test_bad_numbers_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultSpec("drop", **kwargs)
+
+
+class TestRoundTrip:
+    def plan(self):
+        return FaultPlan(
+            seed=42,
+            policy=RetryPolicy(base_timeout=2e-6, backoff=1.5, max_retries=5),
+            faults=(
+                FaultSpec("drop", probability=0.5, count=3, phases=("border",), severity=2),
+                FaultSpec("tni-stall", tni=1, stall=1e-6, note="engine 1 hiccup"),
+                FaultSpec("rdma-stale", src=0, count=1),
+            ),
+            note="round-trip fixture",
+        )
+
+    def test_dict_round_trip(self):
+        plan = self.plan()
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_file_round_trip(self, tmp_path):
+        plan = self.plan()
+        path = str(tmp_path / "plan.json")
+        plan.save(path)
+        assert FaultPlan.load(path) == plan
+        # And the file is schema-tagged, human-readable JSON.
+        doc = json.load(open(path))
+        assert doc["schema"] == SCHEMA
+
+    def test_schema_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="repro-faults/1"):
+            FaultPlan.from_dict({"schema": "repro-faults/99"})
+
+    @pytest.mark.parametrize(
+        "doc",
+        [
+            {"schema": SCHEMA, "bogus": 1},
+            {"schema": SCHEMA, "policy": {"retires": 3}},
+            {"schema": SCHEMA, "faults": [{"kind": "drop", "severty": 2}]},
+        ],
+    )
+    def test_unknown_keys_rejected(self, doc):
+        with pytest.raises(ValueError, match="unknown"):
+            FaultPlan.from_dict(doc)
+
+    def test_smoke_plan_artifact_loads_and_is_absorbable(self):
+        plan = FaultPlan.load("examples/faultplan_smoke.json")
+        assert plan.faults
+        assert plan.absorbable()
+
+
+class TestAbsorbable:
+    def test_severity_within_retries(self):
+        plan = FaultPlan(faults=(FaultSpec("drop", severity=3),),
+                         policy=RetryPolicy(max_retries=3))
+        assert plan.absorbable()
+
+    def test_severity_beyond_retries(self):
+        plan = FaultPlan(faults=(FaultSpec("drop", severity=4),),
+                         policy=RetryPolicy(max_retries=3))
+        assert not plan.absorbable()
+
+    def test_budget_disables_absorbability(self):
+        plan = FaultPlan(policy=RetryPolicy(fault_budget=1))
+        assert not plan.absorbable()
+
+    def test_timing_faults_always_absorbable(self):
+        # Timing faults cost only modeled seconds; severity is irrelevant.
+        plan = FaultPlan(
+            faults=(FaultSpec("inject-jitter", stall=1e-6, severity=99),),
+            policy=RetryPolicy(max_retries=1),
+        )
+        assert plan.absorbable()
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"base_timeout": 0.0},
+            {"backoff": 0.5},
+            {"max_retries": 0},
+            {"fault_budget": 0},
+        ],
+    )
+    def test_bad_policy_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)

@@ -1,0 +1,93 @@
+"""Edge cases of StageTimers.breakdown and Histogram.percentile.
+
+Both fed the fault/bench reporting paths; these regressions pin the
+behaviors the harness relies on (empty accounts, single samples, the
++Inf bucket, caller typos).
+"""
+
+import math
+
+import pytest
+
+from repro.md.stages import Stage, StageTimers
+from repro.obs.metrics import Histogram
+
+
+class TestStageTimersBreakdown:
+    def test_empty_timers_report_zero_percent(self):
+        b = StageTimers().breakdown()
+        assert set(b) == {s.value for s in Stage}
+        assert all(v == (0.0, 0.0) for v in b.values())
+
+    def test_percentages_sum_to_hundred(self):
+        t = StageTimers()
+        t.wall[Stage.PAIR] = 3.0
+        t.wall[Stage.COMM] = 1.0
+        b = t.breakdown("wall")
+        assert b["Pair"] == (3.0, 75.0)
+        assert b["Comm"] == (1.0, 25.0)
+        assert sum(pct for _, pct in b.values()) == pytest.approx(100.0)
+
+    def test_model_account_selected_explicitly(self):
+        t = StageTimers()
+        t.add_model(Stage.COMM, 2.0)
+        assert t.breakdown("model")["Comm"] == (2.0, 100.0)
+        assert t.breakdown("wall")["Comm"] == (0.0, 0.0)
+
+    def test_unknown_account_is_a_typo(self):
+        with pytest.raises(ValueError, match="wall.*model"):
+            StageTimers().breakdown("walls")
+
+    def test_negative_model_time_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            StageTimers().add_model(Stage.PAIR, -1.0)
+
+    def test_single_stage_is_all_of_the_run(self):
+        t = StageTimers()
+        t.wall[Stage.NEIGH] = 0.5
+        assert t.breakdown()["Neigh"] == (0.5, 100.0)
+        assert t.total_wall() == 0.5
+
+
+class TestHistogramPercentile:
+    def build(self, *samples, buckets=(1.0, 2.0, 4.0)):
+        h = Histogram("t", {}, buckets)
+        for s in samples:
+            h.observe(s)
+        return h
+
+    def test_empty_histogram_has_no_percentiles(self):
+        h = self.build()
+        for q in (0.0, 50.0, 100.0):
+            assert math.isnan(h.percentile(q))
+
+    @pytest.mark.parametrize("q", [-1.0, 100.5])
+    def test_out_of_range_percentile_rejected(self, q):
+        with pytest.raises(ValueError, match="percentile"):
+            self.build(1.0).percentile(q)
+
+    def test_single_sample_every_percentile_in_its_bucket(self):
+        h = self.build(1.5)  # lands in the (1, 2] bucket
+        for q in (1.0, 50.0, 99.0, 100.0):
+            assert 1.0 <= h.percentile(q) <= 2.0
+
+    def test_inf_bucket_reports_last_finite_bound(self):
+        h = self.build(100.0)  # beyond every bound: +Inf bucket
+        assert h.percentile(50.0) == 4.0
+        assert h.bucket_counts()[-1] == (math.inf, 1)
+
+    def test_interpolation_within_bucket(self):
+        # 4 samples in (0, 1]: p50 interpolates to the bucket midpoint.
+        h = self.build(0.5, 0.5, 0.5, 0.5, buckets=(1.0,))
+        assert h.percentile(50.0) == pytest.approx(0.5)
+
+    def test_empty_mean_is_zero_not_nan(self):
+        assert self.build().mean == 0.0
+
+    def test_needs_at_least_one_bucket(self):
+        with pytest.raises(ValueError, match="bucket"):
+            Histogram("t", {}, ())
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            Histogram("t", {}, (2.0, 1.0))
