@@ -1,0 +1,16 @@
+"""Static + dynamic protocol analysis for the exchange/RDMA stack.
+
+Two cooperating passes guard the paper's protocol invariants:
+
+* :mod:`repro.analysis.commlint` — AST/introspection lint (``CLxxx``)
+  over the communication sources, no simulation required;
+* :mod:`repro.analysis.hb` — vector-clock happens-before race detector
+  (``HBxxx``) over PR-1 trace events from an instrumented run.
+
+Both produce :class:`repro.analysis.findings.AnalysisReport` and are
+driven by ``repro analyze`` (see :mod:`repro.analysis.cli`).
+"""
+
+from repro.analysis.findings import AnalysisReport, Finding
+
+__all__ = ["AnalysisReport", "Finding"]

@@ -1,0 +1,715 @@
+"""commlint — static protocol-invariant checks for the exchange/RDMA stack.
+
+The paper's speedup rests on protocol invariants that are easy to break
+silently in review: ring depth 4 (§3.4), one CQ per TNI per rank with 24
+distinct CQs per node (§3.3), Newton-symmetric send/recv plans (§3.1),
+RDMA targets that were actually exchanged during the border stage, and
+buffers sized from the analytic ghost maximum (§3.4).  commlint verifies
+them *without running a simulation*, in two cooperating halves:
+
+* **static** — an AST pass over the communication sources (``core/``,
+  ``machine/`` and the stage-order call sites in ``md/``) that flags
+  syntactic violations: literal ring depths below 4, duplicated literal
+  CQ bindings, out-of-order stage calls, asymmetric literal offset
+  tables, RDMA puts aimed at literal (never-exchanged) STags, and
+  buffer capacities that are bare literals instead of
+  :class:`~repro.core.ghost.GhostBudget` expressions;
+* **introspective** — checks that import the live modules and verify
+  the invariants on the real objects: the fine VCQ binding yields 24
+  distinct CQs, the half-shell send plan is the exact negation of the
+  receive plan, ring/endpoint defaults are >= 4, and the endpoint's
+  buffers dominate the analytic maximum and are pre-registered.
+
+Every rule has a stable ID (``CL001``..) so findings are suppressible
+with ``# commlint: disable=CL001`` on the flagged line or
+``# commlint: disable-file=CL001`` anywhere in the file.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import re
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.analysis.findings import AnalysisReport, Finding
+
+#: Minimum safe receive-ring depth for the border->forward->reverse
+#: dependency chain (paper Fig. 10; enforced live by RecvBufferRing).
+MIN_RING_DEPTH = 4
+
+#: The rule catalog: stable ID -> one-line description.
+RULES: dict[str, str] = {
+    "CL001": "round-robin receive-ring depth below 4 (overwrite hazard, §3.4)",
+    "CL002": "duplicated VCQ->CQ binding (CQs are not thread-safe, §3.3)",
+    "CL003": "fine binding must use 24 distinct CQs/node, one per TNI per rank (§3.3)",
+    "CL004": "stage order violated: border before forward, forward before reverse",
+    "CL005": "send/recv plan not Newton-symmetric (send offsets must negate recv, §3.1)",
+    "CL006": "RDMA put targets a literal/unexchanged STag or skips the window exchange (§3.4)",
+    "CL007": "RDMA buffer size not derived from (or below) the analytic ghost maximum (§3.4)",
+}
+
+_SUPPRESS_RE = re.compile(r"#\s*commlint:\s*disable=([A-Z0-9,\s]+)")
+_SUPPRESS_FILE_RE = re.compile(r"#\s*commlint:\s*disable-file=([A-Z0-9,\s]+)")
+_OFFSET_SEND_RE = re.compile(r"send.*offset", re.IGNORECASE)
+_OFFSET_RECV_RE = re.compile(r"recv.*offset", re.IGNORECASE)
+
+#: Repo-relative module set scanned by default (the exchange/RDMA stack
+#: plus the stage-order call sites).
+DEFAULT_MODULES = (
+    "core/analytic.py",
+    "core/border_bins.py",
+    "core/exchange_base.py",
+    "core/fine_p2p.py",
+    "core/ghost.py",
+    "core/message_combine.py",
+    "core/p2p.py",
+    "core/patterns.py",
+    "core/rdma_buffers.py",
+    "core/three_stage.py",
+    "machine/rdma.py",
+    "machine/tni.py",
+    "md/simulation.py",
+    "md/stages.py",
+)
+
+
+def default_paths() -> list[str]:
+    """The communication sources commlint scans by default."""
+    import repro
+
+    pkg = Path(inspect.getsourcefile(repro)).parent  # type: ignore[arg-type]
+    return [str(pkg / rel) for rel in DEFAULT_MODULES]
+
+
+# -- suppression handling ----------------------------------------------------
+class _Suppressions:
+    """Per-line and file-level ``# commlint: disable=`` directives."""
+
+    def __init__(self, source: str) -> None:
+        self.by_line: dict[int, set[str]] = {}
+        self.file_level: set[str] = set()
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            m = _SUPPRESS_FILE_RE.search(line)
+            if m:
+                self.file_level.update(self._ids(m.group(1)))
+                continue
+            m = _SUPPRESS_RE.search(line)
+            if m:
+                self.by_line.setdefault(lineno, set()).update(self._ids(m.group(1)))
+
+    @staticmethod
+    def _ids(raw: str) -> list[str]:
+        return [part.strip() for part in raw.split(",") if part.strip()]
+
+    def hides(self, rule: str, line: int) -> bool:
+        """Whether ``rule`` at ``line`` is suppressed."""
+        return rule in self.file_level or rule in self.by_line.get(line, set())
+
+
+# -- AST helpers -------------------------------------------------------------
+def _call_name(node: ast.Call) -> str:
+    """Last dotted segment of the called name (``a.b.C(...)`` -> ``C``)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _literal_int(node: ast.AST | None) -> int | None:
+    """The int value of a numeric literal (including ``-n``), else None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, int) and not isinstance(
+        node.value, bool
+    ):
+        return node.value
+    if (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, ast.USub)
+        and isinstance(node.operand, ast.Constant)
+        and isinstance(node.operand.value, int)
+    ):
+        return -node.operand.value
+    return None
+
+
+def _arg(call: ast.Call, position: int, keyword: str) -> ast.AST | None:
+    """Argument at ``position`` or passed as ``keyword=``, else None."""
+    for kw in call.keywords:
+        if kw.arg == keyword:
+            return kw.value
+    if len(call.args) > position:
+        return call.args[position]
+    return None
+
+
+def _literal_offset_table(node: ast.AST) -> list[tuple[int, ...]] | None:
+    """Parse a literal list/tuple of int-tuples, else None."""
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        return None
+    out: list[tuple[int, ...]] = []
+    for elt in node.elts:
+        if not isinstance(elt, (ast.Tuple, ast.List)):
+            return None
+        vals = [_literal_int(e) for e in elt.elts]
+        if any(v is None for v in vals):
+            return None
+        out.append(tuple(v for v in vals if v is not None))
+    return out
+
+
+# -- static rules ------------------------------------------------------------
+def _check_ring_depth(tree: ast.Module, path: str) -> list[Finding]:
+    """CL001: literal ring depths below :data:`MIN_RING_DEPTH`."""
+    findings = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            name = _call_name(node)
+            depth_node = None
+            if name == "RecvBufferRing":
+                depth_node = _arg(node, 3, "depth")
+            elif name in ("RdmaEndpoint", "P2PExchange", "FineGrainedP2PExchange"):
+                depth_node = _arg(node, -1, "ring_depth")
+            else:
+                for kw in node.keywords:
+                    if kw.arg == "ring_depth":
+                        depth_node = kw.value
+            depth = _literal_int(depth_node)
+            if depth is not None and depth < MIN_RING_DEPTH:
+                findings.append(
+                    Finding(
+                        rule="CL001",
+                        path=path,
+                        line=node.lineno,
+                        message=f"receive-ring depth {depth} < {MIN_RING_DEPTH}",
+                        detail="a PUT from stage k+1 can land on data stage k has "
+                        "not consumed (paper §3.4, Fig. 10)",
+                    )
+                )
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = node.args
+            defaults = args.defaults
+            params = args.args[len(args.args) - len(defaults):] if defaults else []
+            for param, default in zip(params, defaults):
+                if param.arg != "ring_depth":
+                    continue
+                depth = _literal_int(default)
+                if depth is not None and depth < MIN_RING_DEPTH:
+                    findings.append(
+                        Finding(
+                            rule="CL001",
+                            path=path,
+                            line=node.lineno,
+                            message=f"default ring_depth {depth} < {MIN_RING_DEPTH} "
+                            f"in {node.name}()",
+                        )
+                    )
+    return findings
+
+
+def _check_duplicate_bindings(tree: ast.Module, path: str) -> list[Finding]:
+    """CL002: literal ``ControlQueue(tni, index)`` pairs constructed twice."""
+    findings = []
+    seen: dict[tuple[int, int], int] = {}
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call) and _call_name(node) == "ControlQueue"):
+            continue
+        tni = _literal_int(_arg(node, 0, "tni"))
+        index = _literal_int(_arg(node, 1, "index"))
+        if tni is None or index is None:
+            continue
+        key = (tni, index)
+        if key in seen:
+            findings.append(
+                Finding(
+                    rule="CL002",
+                    path=path,
+                    line=node.lineno,
+                    message=f"CQ (tni={tni}, index={index}) bound twice "
+                    f"(first at line {seen[key]})",
+                    detail="a CQ is not thread-safe; every VCQ must bind a "
+                    "distinct CQ (paper §3.3, Fig. 7)",
+                )
+            )
+        else:
+            seen[key] = node.lineno
+    return findings
+
+
+_STAGE_ORDER = {"borders": 0, "forward": 1, "reverse": 2}
+
+
+def _check_stage_order(tree: ast.Module, path: str) -> list[Finding]:
+    """CL004: within one function, border < forward < reverse call order."""
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        first_line: dict[str, int] = {}
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in _STAGE_ORDER
+            ):
+                stage = sub.func.attr
+                first_line.setdefault(stage, sub.lineno)
+        ordered = sorted(first_line, key=lambda s: first_line[s])
+        for earlier, later in zip(ordered, ordered[1:]):
+            if _STAGE_ORDER[earlier] > _STAGE_ORDER[later]:
+                findings.append(
+                    Finding(
+                        rule="CL004",
+                        path=path,
+                        line=first_line[earlier],
+                        message=f"{earlier}() called before {later}() in "
+                        f"{node.name}()",
+                        detail="routes are rebuilt by the border stage; forward "
+                        "replays them and reverse retraces forward",
+                    )
+                )
+                break
+    return findings
+
+
+def _check_plan_symmetry(tree: ast.Module, path: str) -> list[Finding]:
+    """CL005: literal send/recv offset tables must be Newton-symmetric."""
+    sends: tuple[int, list[tuple[int, ...]]] | None = None
+    recvs: tuple[int, list[tuple[int, ...]]] | None = None
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        name = (
+            target.id
+            if isinstance(target, ast.Name)
+            else target.attr
+            if isinstance(target, ast.Attribute)
+            else ""
+        )
+        table = _literal_offset_table(node.value)
+        if table is None:
+            continue
+        if _OFFSET_SEND_RE.search(name):
+            sends = (node.lineno, table)
+        elif _OFFSET_RECV_RE.search(name):
+            recvs = (node.lineno, table)
+    if sends is None or recvs is None:
+        return []
+    send_set = set(sends[1])
+    recv_set = set(recvs[1])
+    negated_recv = {tuple(-o for o in off) for off in recv_set}
+    half_symmetric = send_set == negated_recv and not (send_set & recv_set)
+    full_symmetric = send_set == recv_set and send_set == {
+        tuple(-o for o in off) for off in send_set
+    }
+    if half_symmetric or full_symmetric:
+        return []
+    return [
+        Finding(
+            rule="CL005",
+            path=path,
+            line=sends[0],
+            message="send offsets are not the negation of recv offsets "
+            "(nor a negation-closed full shell)",
+            detail="Newton's 3rd law pairs every received ghost block with a "
+            "send to the opposite neighbor (paper §3.1, Table 1)",
+        )
+    ]
+
+
+def _check_rdma_targets(tree: ast.Module, path: str) -> list[Finding]:
+    """CL006: puts must target exchanged windows, not literal STags."""
+    findings = []
+    has_put_positions_call = False
+    put_positions_line = 0
+    has_window_exchange = False
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            name = _call_name(node)
+            if name == "put" and (len(node.args) + len(node.keywords)) >= 6:
+                stag = _literal_int(_arg(node, 3, "dst_stag"))
+                if stag is not None:
+                    findings.append(
+                        Finding(
+                            rule="CL006",
+                            path=path,
+                            line=node.lineno,
+                            message=f"RDMA put targets literal stag {stag}",
+                            detail="STags are only valid after the border-stage "
+                            "window exchange piggybacks them (paper §3.4)",
+                        )
+                    )
+                offset = _literal_int(_arg(node, 4, "dst_offset"))
+                if offset is not None and offset != 0:
+                    findings.append(
+                        Finding(
+                            rule="CL006",
+                            path=path,
+                            line=node.lineno,
+                            message=f"RDMA put targets literal remote offset {offset}",
+                            detail="the ghost offset must come from the exchanged "
+                            "RemoteWindow, not be assumed",
+                        )
+                    )
+            elif name == "put_positions":
+                has_put_positions_call = True
+                put_positions_line = put_positions_line or node.lineno
+            elif name in ("install_remote", "_exchange_windows", "_exchange_windows_impl"):
+                has_window_exchange = True
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node.name in (
+            "_exchange_windows",
+            "_exchange_windows_impl",
+        ):
+            has_window_exchange = True
+    if has_put_positions_call and not has_window_exchange:
+        findings.append(
+            Finding(
+                rule="CL006",
+                path=path,
+                line=put_positions_line,
+                message="put_positions() used without a window exchange "
+                "(install_remote/_exchange_windows) in this module",
+                detail="forward PUTs land at the offset the border stage "
+                "piggybacked; without the exchange the target is stale",
+            )
+        )
+    return findings
+
+
+def _derives_from_budget(node: ast.AST | None) -> bool:
+    """Whether an expression references a GhostBudget analytic method."""
+    if node is None:
+        return False
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr in (
+            "max_atoms_per_message",
+            "max_ghost_atoms",
+            "max_local_atoms",
+        ):
+            return True
+    return False
+
+
+def _check_buffer_sizing(tree: ast.Module, path: str) -> list[Finding]:
+    """CL007: ring capacities must not be bare literals."""
+    findings = []
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call) and _call_name(node) == "RecvBufferRing"):
+            continue
+        cap_node = _arg(node, 2, "capacity_elems")
+        cap = _literal_int(cap_node)
+        if cap is not None and not _derives_from_budget(cap_node):
+            findings.append(
+                Finding(
+                    rule="CL007",
+                    path=path,
+                    line=node.lineno,
+                    message=f"receive-ring capacity is the bare literal {cap}",
+                    detail="capacities must derive from the GhostBudget "
+                    "theoretical maximum so registration happens once "
+                    "and no growth path exists (paper §3.4)",
+                )
+            )
+    return findings
+
+
+_STATIC_RULES = (
+    _check_ring_depth,
+    _check_duplicate_bindings,
+    _check_stage_order,
+    _check_plan_symmetry,
+    _check_rdma_targets,
+    _check_buffer_sizing,
+)
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Finding]:
+    """Run every static rule over one source text (suppressions applied)."""
+    tree = ast.parse(source, filename=path)
+    suppressions = _Suppressions(source)
+    findings: list[Finding] = []
+    for rule_fn in _STATIC_RULES:
+        findings.extend(rule_fn(tree, path))
+    kept = [f for f in findings if not suppressions.hides(f.rule, f.line)]
+    lint_source.last_suppressed = len(findings) - len(kept)  # type: ignore[attr-defined]
+    return kept
+
+
+# -- introspective checks ----------------------------------------------------
+def _anchor(obj: object) -> tuple[str, int]:
+    """(file, line) of a live object's definition, for finding anchors."""
+    try:
+        path = inspect.getsourcefile(obj)  # type: ignore[arg-type]
+        _, line = inspect.getsourcelines(obj)  # type: ignore[arg-type]
+        return (path or "<runtime>", line)
+    except (OSError, TypeError):
+        return ("<runtime>", 0)
+
+
+def _introspect_vcq_bindings() -> list[Finding]:
+    """CL002/CL003 on the live NodeNIC fine binding (24 distinct CQs)."""
+    from repro.machine.params import FUGAKU
+    from repro.machine.tni import NodeNIC, TNIAllocationError
+
+    findings = []
+    nic = NodeNIC(FUGAKU)
+    vcq_map = nic.bind_fine(list(range(4)))
+    path, line = _anchor(NodeNIC.bind_fine)
+
+    bindings = [(v.cq.tni, v.cq.index) for vcqs in vcq_map.values() for v in vcqs]
+    if len(set(bindings)) != len(bindings):
+        dupes = sorted({b for b in bindings if bindings.count(b) > 1})
+        findings.append(
+            Finding(
+                rule="CL002",
+                path=path,
+                line=line,
+                message=f"fine binding produced duplicated CQ(s) {dupes}",
+            )
+        )
+    expected = 4 * nic.tni_count
+    if nic.cqs_in_use() != expected or len(bindings) != expected:
+        findings.append(
+            Finding(
+                rule="CL003",
+                path=path,
+                line=line,
+                message=f"fine binding allocated {nic.cqs_in_use()} CQs, "
+                f"expected {expected} (4 ranks x {nic.tni_count} TNIs)",
+            )
+        )
+    for rank, vcqs in vcq_map.items():
+        tnis = [v.tni for v in vcqs]
+        if len(vcqs) != nic.tni_count or len(set(tnis)) != len(tnis):
+            findings.append(
+                Finding(
+                    rule="CL003",
+                    path=path,
+                    line=line,
+                    message=f"rank {rank} holds {len(vcqs)} VCQs over "
+                    f"{len(set(tnis))} distinct TNIs, expected one per TNI",
+                )
+            )
+            break
+    # The per-rank-per-TNI hardware rule must be *enforced*, not assumed.
+    try:
+        nic.tnis[0].allocate_cq(0)
+    except TNIAllocationError:
+        pass
+    else:
+        findings.append(
+            Finding(
+                rule="CL003",
+                path=path,
+                line=line,
+                message="TNI.allocate_cq allowed a rank to own two CQs on one TNI",
+            )
+        )
+    return findings
+
+
+def _introspect_plan_symmetry() -> list[Finding]:
+    """CL005 on the live offset generators, both Newton modes, radii 1-2."""
+    from repro.core import patterns
+
+    findings = []
+    path, line = _anchor(patterns.half_shell_offsets)
+    for radius in (1, 2):
+        half = set(patterns.half_shell_offsets(radius))
+        full = set(patterns.shell_offsets(radius))
+        negated = {tuple(-o for o in off) for off in half}
+        if half & negated:
+            findings.append(
+                Finding(
+                    rule="CL005",
+                    path=path,
+                    line=line,
+                    message=f"half shell (radius {radius}) is not disjoint from "
+                    "its negation: some pairs are exchanged twice",
+                )
+            )
+        if half | negated != full:
+            findings.append(
+                Finding(
+                    rule="CL005",
+                    path=path,
+                    line=line,
+                    message=f"half shell + negation != full shell at radius "
+                    f"{radius} ({len(half | negated)} vs {len(full)} offsets)",
+                )
+            )
+        if full != {tuple(-o for o in off) for off in full}:
+            findings.append(
+                Finding(
+                    rule="CL005",
+                    path=path,
+                    line=line,
+                    message=f"full shell (radius {radius}) is not closed under "
+                    "negation",
+                )
+            )
+    return findings
+
+
+def _introspect_ring_defaults() -> list[Finding]:
+    """CL001 on the live default ring depths (ring, endpoint, exchange)."""
+    from repro.core.p2p import P2PExchange
+    from repro.core.rdma_buffers import RdmaEndpoint, RecvBufferRing
+
+    findings = []
+    for obj, param in (
+        (RecvBufferRing.__init__, "depth"),
+        (RdmaEndpoint.__init__, "ring_depth"),
+        (P2PExchange.__init__, "ring_depth"),
+    ):
+        default = inspect.signature(obj).parameters[param].default
+        if isinstance(default, int) and default < MIN_RING_DEPTH:
+            path, line = _anchor(obj)
+            findings.append(
+                Finding(
+                    rule="CL001",
+                    path=path,
+                    line=line,
+                    message=f"default {param}={default} < {MIN_RING_DEPTH} "
+                    f"in {obj.__qualname__}",
+                )
+            )
+    return findings
+
+
+def _introspect_buffer_sizing() -> list[Finding]:
+    """CL006/CL007 on a live endpoint: registration + analytic dominance."""
+    import numpy as np
+
+    from repro.core.ghost import GhostBudget, offset_volume
+    from repro.core.patterns import shell_offsets
+    from repro.core.rdma_buffers import RdmaEndpoint
+    from repro.machine.rdma import RdmaEngine, RdmaError
+
+    findings = []
+    budget = GhostBudget(a=8.0, r=2.5, density=0.05)
+    path, line = _anchor(RdmaEndpoint)
+
+    # The single-message bound must dominate every shell message's
+    # analytic expectation (the stage-3 slab bounds all of Table 1).
+    per_message = budget.max_atoms_per_message()
+    worst = max(
+        offset_volume(budget.a, budget.r, off) * budget.density * budget.safety
+        for off in shell_offsets(1)
+    )
+    if per_message < worst:
+        findings.append(
+            Finding(
+                rule="CL007",
+                path=path,
+                line=line,
+                message=f"max_atoms_per_message()={per_message} is below the "
+                f"analytic worst-case message of {worst:.1f} atoms",
+            )
+        )
+
+    engine = RdmaEngine()
+    capacity = budget.max_local_atoms() + budget.max_ghost_atoms(False)
+    endpoint = RdmaEndpoint(
+        rank=0,
+        engine=engine,
+        x_storage=np.zeros((capacity, 3)),
+        f_storage=np.zeros((capacity, 3)),
+        budget=budget,
+        n_neighbors=13,
+    )
+    needed = per_message * 3 + 1  # xyz + length prefix
+    for ring in endpoint.recv_rings:
+        if ring.capacity < needed:
+            findings.append(
+                Finding(
+                    rule="CL007",
+                    path=path,
+                    line=line,
+                    message=f"receive-ring capacity {ring.capacity} < analytic "
+                    f"requirement {needed} elements",
+                )
+            )
+            break
+    if endpoint.x_region.length < capacity * 3:
+        findings.append(
+            Finding(
+                rule="CL007",
+                path=path,
+                line=line,
+                message=f"registered position region ({endpoint.x_region.length} "
+                f"elements) is smaller than the pre-sized storage "
+                f"({capacity * 3})",
+            )
+        )
+    # Every advertised ring STag must resolve to a pre-registered region:
+    # a PUT into an unregistered window is the §3.4 failure mode.
+    cache = engine.cache_for(0)
+    try:
+        for ring in endpoint.recv_rings:
+            for stag in ring.stags():
+                cache.lookup(stag)
+        cache.lookup(endpoint.x_region.stag)
+        cache.lookup(endpoint.f_region.stag)
+    except RdmaError as exc:
+        findings.append(
+            Finding(
+                rule="CL006",
+                path=path,
+                line=line,
+                message=f"advertised window is not pre-registered: {exc}",
+            )
+        )
+    return findings
+
+
+_INTROSPECTIVE_CHECKS = (
+    _introspect_vcq_bindings,
+    _introspect_plan_symmetry,
+    _introspect_ring_defaults,
+    _introspect_buffer_sizing,
+)
+
+
+def run_introspection() -> list[Finding]:
+    """Run every introspective check against the live modules."""
+    findings: list[Finding] = []
+    for check in _INTROSPECTIVE_CHECKS:
+        try:
+            findings.extend(check())
+        except Exception as exc:  # pragma: no cover - diagnostic path
+            findings.append(
+                Finding(
+                    rule="CL003" if "vcq" in check.__name__ else "CL007",
+                    message=f"introspective check {check.__name__} crashed: {exc!r}",
+                )
+            )
+    return findings
+
+
+# -- entry point -------------------------------------------------------------
+def run_commlint(
+    paths: Sequence[str] | None = None, introspect: bool = True
+) -> AnalysisReport:
+    """Lint ``paths`` (default: the exchange/RDMA stack) and report.
+
+    ``introspect=False`` restricts the run to the pure AST pass — useful
+    when linting standalone fixture files that should not trigger the
+    live-module checks.
+    """
+    report = AnalysisReport(tool="commlint")
+    targets: Iterable[str] = paths if paths is not None else default_paths()
+    for path in targets:
+        p = Path(path)
+        files = sorted(p.rglob("*.py")) if p.is_dir() else [p]
+        for file in files:
+            source = file.read_text(encoding="utf-8")
+            report.findings.extend(lint_source(source, str(file)))
+            report.suppressed += getattr(lint_source, "last_suppressed", 0)
+            report.files_analyzed.append(str(file))
+    if introspect:
+        report.findings.extend(run_introspection())
+    return report

@@ -99,6 +99,13 @@ def build_simulation(args) -> Simulation:
 
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
+    import sys
+
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv[:1] == ["analyze"]:
+        from repro.analysis.cli import main as analyze_main
+
+        return analyze_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.trace is not None:
         from repro.obs.trace import TRACER
@@ -145,7 +152,11 @@ def main(argv=None) -> int:
             print()
             print(METRICS.render())
             METRICS.enabled = False
-        return 0 if report.ok else 1
+        if not report.ok:
+            failing = [c.name for c in report.checks if not c.passed]
+            print(f"# selfcheck FAILED: {', '.join(failing)}")
+            return 1
+        return 0
     if args.input:
         from repro.md.inputscript import InputScript
 

@@ -42,6 +42,7 @@ from repro.core.rdma_buffers import BufferOverwriteError, RdmaEndpoint
 from repro.faults.injector import FAULTS, RetryExhaustedError
 from repro.machine.rdma import RdmaEngine
 from repro.md.domain import Domain
+from repro.obs import hbevents
 from repro.obs.trace import TRACER
 from repro.runtime.world import World
 
@@ -338,6 +339,7 @@ class P2PExchange(GhostExchange):
         session = FAULTS.session
         if session is None or session.pending_deferred() == 0:
             return
+        hbevents.emit_fence(stage, session.pending_deferred())
         policy = session.policy
         timeout = policy.base_timeout
         with TRACER.span(

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.core.ghost import GhostBudget
 from repro.machine.rdma import MemoryRegion, RdmaEngine
+from repro.obs import hbevents
 from repro.obs.metrics import METRICS, OCCUPANCY_BUCKETS
 
 
@@ -51,6 +52,7 @@ class RecvBufferRing:
         if capacity_elems < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity_elems}")
         cache = engine.cache_for(rank)
+        self.rank = rank
         self.depth = depth
         self.capacity = capacity_elems
         self.buffers: list[MemoryRegion] = [
@@ -59,6 +61,11 @@ class RecvBufferRing:
         self._dirty = [False] * depth
         self._write_cursor = 0
         self._read_cursor = 0
+
+    @property
+    def ring_id(self) -> int:
+        """Stable ring identity (the first buffer's STag) for trace events."""
+        return self.buffers[0].stag
 
     def stags(self) -> list[int]:
         """Registered handles, exchanged with the neighbor at setup."""
@@ -76,10 +83,12 @@ class RecvBufferRing:
                 "recv_ring_occupancy", buckets=OCCUPANCY_BUCKETS
             ).observe(self.outstanding())
         if self._dirty[idx]:
+            hbevents.emit_write(self.rank, f"ring{self.ring_id}/slot{idx}", ok=False)
             raise BufferOverwriteError(
                 f"receive buffer {idx} would be overwritten before it was "
                 f"consumed (ring depth {self.depth} too shallow)"
             )
+        hbevents.emit_write(self.rank, f"ring{self.ring_id}/slot{idx}", ok=True)
         self._dirty[idx] = True
         self._write_cursor = (idx + 1) % self.depth
         return idx, self.buffers[idx]
@@ -88,9 +97,11 @@ class RecvBufferRing:
         """The receiver drains the oldest written buffer."""
         idx = self._read_cursor
         if not self._dirty[idx]:
+            hbevents.emit_read(self.rank, f"ring{self.ring_id}/slot{idx}", ok=False)
             raise BufferOverwriteError(
                 f"consume() on clean buffer {idx}: protocol out of sync"
             )
+        hbevents.emit_read(self.rank, f"ring{self.ring_id}/slot{idx}", ok=True)
         self._dirty[idx] = False
         self._read_cursor = (idx + 1) % self.depth
         return self.buffers[idx].data
@@ -241,10 +252,15 @@ class RdmaEndpoint:
                 # acquire + encode, preserving cursor discipline — lands
                 # after ``ticks`` consume-retry polls.
                 data = np.ascontiguousarray(payload, dtype=np.float64).ravel().copy()
+                res = f"ring{remote_ring.ring_id}"
+                pid = hbevents.emit_put(
+                    self.rank, res, 0, data.size, inflight=True
+                )
 
-                def land(ring=remote_ring, data=data) -> None:
+                def land(ring=remote_ring, data=data, res=res, pid=pid) -> None:
                     _, region = ring.acquire_for_write()
                     write_into(region.data, data)
+                    hbevents.emit_land(res, 0, data.size, pid)
 
                 session.defer(ticks, land, "ring-stale")
                 return (data.size + 1) * 8

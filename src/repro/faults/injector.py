@@ -29,9 +29,10 @@ counted in :class:`FaultStats` and emitted as trace events/metrics so
 from __future__ import annotations
 
 import random
+from collections.abc import Callable, Hashable, Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Hashable
+from typing import Any
 
 from repro.faults.plan import (
     EXEMPT_PHASES,
@@ -91,7 +92,24 @@ class _SpecState:
 
     def __init__(self, spec: FaultSpec) -> None:
         self.spec = spec
-        self.remaining = spec.count
+        self.remaining: int | None = spec.count
+
+
+@dataclass
+class _HeldMessage:
+    """One message sitting in limbo until its retry polls run out."""
+
+    ticks: int
+    seq: int
+    payload: Any
+
+
+@dataclass
+class _DeferredPut:
+    """One in-flight RDMA/ring PUT and the callback that lands it."""
+
+    ticks: int
+    land: Callable[[], None]
 
 
 class FaultSession:
@@ -111,10 +129,10 @@ class FaultSession:
         self.message_faults = any(s.kind in MESSAGE_KINDS for s in plan.faults)
         self.rdma_faults = any(s.kind in RDMA_KINDS for s in plan.faults)
         self.stats = FaultStats()
-        # Held messages per mailbox key: [remaining ticks, seq, payload].
-        self._limbo: dict[tuple, list[list]] = {}
-        # Deferred RDMA/ring PUTs: [remaining ticks, land callback].
-        self._deferred: list[list] = []
+        # Held messages per mailbox key (src, dst, tag).
+        self._limbo: dict[tuple[int, int, Hashable], list[_HeldMessage]] = {}
+        # Deferred RDMA/ring PUTs awaiting fence/consume polls.
+        self._deferred: list[_DeferredPut] = []
         # Per-VCQ injection counters for credit exhaustion.
         self._vcq_count: dict[tuple[int, int, int], int] = {}
         self.closed = False
@@ -154,7 +172,7 @@ class FaultSession:
             return spec
         return None
 
-    def _note_injected(self, kind: str, **args) -> None:
+    def _note_injected(self, kind: str, **args: int | str) -> None:
         self.stats.injected[kind] = self.stats.injected.get(kind, 0) + 1
         if METRICS.enabled:
             METRICS.counter("faults_injected_total", kind=kind).inc()
@@ -184,29 +202,36 @@ class FaultSession:
             return (REORDER, 0, "reorder")
         return None
 
-    def hold(self, key: tuple, seq: int, payload, ticks: int, kind: str) -> None:
+    def hold(
+        self,
+        key: tuple[int, int, Hashable],
+        seq: int,
+        payload: Any,
+        ticks: int,
+        kind: str,
+    ) -> None:
         """Move one message into limbo for ``ticks`` retry polls."""
-        self._limbo.setdefault(key, []).append([ticks, seq, payload])
+        self._limbo.setdefault(key, []).append(_HeldMessage(ticks, seq, payload))
         self._note_injected(kind, src=key[0], dst=key[1])
 
-    def note_reorder(self, key: tuple) -> None:
+    def note_reorder(self, key: tuple[int, int, Hashable]) -> None:
         """Count a fired reorder (absorbed immediately by seq restore)."""
         self._note_injected("reorder", src=key[0], dst=key[1])
         self.stats.absorbed += 1
         if METRICS.enabled:
             METRICS.counter("faults_absorbed_total").inc()
 
-    def tick(self, key: tuple) -> list[tuple[int, object]]:
+    def tick(self, key: tuple[int, int, Hashable]) -> list[tuple[int, Any]]:
         """One receiver retry poll: age this mailbox's limbo, return releases."""
         entries = self._limbo.get(key)
         if not entries:
             return []
-        released: list[tuple[int, object]] = []
-        kept: list[list] = []
+        released: list[tuple[int, Any]] = []
+        kept: list[_HeldMessage] = []
         for entry in entries:
-            entry[0] -= 1
-            if entry[0] <= 0:
-                released.append((entry[1], entry[2]))
+            entry.ticks -= 1
+            if entry.ticks <= 0:
+                released.append((entry.seq, entry.payload))
                 self.stats.absorbed += 1
                 if METRICS.enabled:
                     METRICS.counter("faults_absorbed_total").inc()
@@ -288,7 +313,7 @@ class FaultSession:
 
     def defer(self, ticks: int, land: Callable[[], None], kind: str) -> None:
         """Register an in-flight PUT that lands after ``ticks`` polls."""
-        self._deferred.append([ticks, land])
+        self._deferred.append(_DeferredPut(ticks, land))
         self._note_injected(kind)
 
     def pending_deferred(self) -> int:
@@ -300,11 +325,11 @@ class FaultSession:
         if not self._deferred:
             return 0
         landed = 0
-        kept: list[list] = []
+        kept: list[_DeferredPut] = []
         for entry in self._deferred:
-            entry[0] -= 1
-            if entry[0] <= 0:
-                entry[1]()
+            entry.ticks -= 1
+            if entry.ticks <= 0:
+                entry.land()
                 landed += 1
                 self.stats.absorbed += 1
                 if METRICS.enabled:
@@ -387,7 +412,7 @@ class FaultInjector:
         return session
 
     @contextmanager
-    def inject(self, plan: FaultPlan):
+    def inject(self, plan: FaultPlan) -> Iterator[FaultSession]:
         """Scoped session: ``with FAULTS.inject(plan) as session: ...``."""
         session = self.activate(plan)
         try:

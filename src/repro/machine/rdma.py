@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.faults.injector import FAULTS
 from repro.machine.params import FUGAKU, MachineParams
+from repro.obs import hbevents
 from repro.obs.metrics import METRICS
 from repro.obs.trace import TRACER
 
@@ -169,25 +170,30 @@ class RdmaEngine:
         dst = self.cache_for(dst_rank).lookup(dst_stag)
         dst.check_range(dst_offset, count)
         session = FAULTS.session
-        deferred = False
+        ticks = 0
         if session is not None:
             ticks = session.rdma_defer("rdma-stale", src.owner_rank)
-            if ticks > 0:
-                # The PUT is issued but still in flight: snapshot the
-                # source now (the sender may reuse its buffer) and land
-                # the bytes only after ``ticks`` fence polls — until
-                # then the remote window shows the previous epoch.
-                data = src.data[src_offset : src_offset + count].copy()
+        res = f"stag{dst_stag}"
+        pid = hbevents.emit_put(
+            src.owner_rank, res, dst_offset, count, inflight=ticks > 0
+        )
+        if ticks > 0:
+            # The PUT is issued but still in flight: snapshot the
+            # source now (the sender may reuse its buffer) and land
+            # the bytes only after ``ticks`` fence polls — until
+            # then the remote window shows the previous epoch.
+            data = src.data[src_offset : src_offset + count].copy()
 
-                def land(dst=dst, off=dst_offset, data=data) -> None:
-                    dst.data[off : off + data.size] = data
+            def land(dst=dst, off=dst_offset, data=data, res=res, pid=pid) -> None:
+                dst.data[off : off + data.size] = data
+                hbevents.emit_land(res, off, data.size, pid)
 
-                session.defer(ticks, land, "rdma-stale")
-                deferred = True
-        if not deferred:
+            session.defer(ticks, land, "rdma-stale")
+        else:
             dst.data[dst_offset : dst_offset + count] = src.data[
                 src_offset : src_offset + count
             ]
+            hbevents.emit_land(res, dst_offset, count, pid)
         self.put_count += 1
         self.bytes_put += count * src.data.itemsize
         if METRICS.enabled:

@@ -240,14 +240,27 @@ class Transport:
                 f"rank {dst} has no message from {src} with tag {tag!r} "
                 f"(phase {self.phase!r})"
             )
-        return self._take(box)
+        payload = self._take(box)
+        self._note_recv(src, dst)
+        return payload
 
     def try_recv(self, dst: int, src: int, tag: Hashable) -> Any | None:
         """Like :meth:`recv` but returns ``None`` when nothing is waiting."""
         box = self._boxes.get((src, dst, tag))
         if not box:
             return None
-        return self._take(box)
+        payload = self._take(box)
+        self._note_recv(src, dst)
+        return payload
+
+    def _note_recv(self, src: int, dst: int) -> None:
+        """Record a delivery as a trace instant (the race detector's
+        message-synchronization edge from ``src`` to ``dst``)."""
+        if TRACER.enabled:
+            TRACER.instant(
+                "recv", cat="recv", track=f"rank{dst}",
+                src=src, dst=dst, phase=self.phase,
+            )
 
     def fault_poll(self, dst: int, src: int, tag: Hashable) -> None:
         """One retry poll: age this mailbox's limbo, redeliver releases.

@@ -17,7 +17,11 @@ verifies
    breakdown reproduces :class:`~repro.md.stages.StageTimers` exactly,
 6. the critical-path analyzer's attribution partitions the modeled
    exchange time exactly and agrees with the rank's send schedule and
-   the model-clock ``StageTimers`` account.
+   the model-clock ``StageTimers`` account,
+7. the analysis layer holds both ways: commlint reports zero findings
+   on the shipped communication stack yet flags a seeded protocol bug,
+   and the happens-before race detector stays silent on a fault-free
+   RDMA run yet flags injected §3.4 stale windows.
 
 Returns a structured report; any failed check names itself.
 """
@@ -155,6 +159,7 @@ def run_selfcheck(
     )
     _observability_checks(report, x, v, box, steps=max(steps // 2, 5))
     _critpath_checks(report, x, v, box)
+    _analysis_checks(report, x, v, box)
     if fault_plan is not None:
         _fault_checks(report, x, v, box, fault_plan)
     return report
@@ -301,6 +306,82 @@ def _critpath_checks(
             max_err == 0.0,
             f"max |span sum - timer| = {max_err:.2e}",
         )
+
+
+def _analysis_checks(
+    report: SelfCheckReport,
+    x: np.ndarray,
+    v: np.ndarray,
+    box,
+    steps: int = 5,
+) -> None:
+    """Static-analyzer and race-detector battery (the analysis layer).
+
+    Four checks pin both directions of the analysis tooling:
+
+    * commlint must report **zero** findings on the shipped
+      communication stack (static + live introspection),
+    * commlint must still be able to *fail* — a seeded ring-depth-3
+      snippet must come back flagged CL001,
+    * the happens-before detector must stay silent on a fault-free
+      traced RDMA run,
+    * it must flag the §3.4 stale windows when ``rdma-stale`` and
+      ``ring-stale`` plans are injected into the same run.
+    """
+    from repro.analysis.commlint import lint_source, run_commlint
+    from repro.analysis.hb import detect_races
+    from repro.faults.injector import FAULTS
+    from repro.faults.plan import FaultPlan, FaultSpec
+    from repro.obs import observe
+
+    lint = run_commlint()
+    report.add(
+        "commlint clean on the communication stack",
+        lint.clean,
+        f"{len(lint.findings)} finding(s) over {len(lint.files_analyzed)} files",
+    )
+
+    seeded = lint_source("ring = RecvBufferRing(engine, 0, cap, depth=3)\n")
+    report.add(
+        "commlint flags a seeded ring-depth bug (CL001)",
+        [f.rule for f in seeded] == ["CL001"],
+        f"rules {[f.rule for f in seeded]}",
+    )
+
+    def probe(plan=None):
+        cfg = SimulationConfig(
+            dt=0.005, skin=0.3, pattern="p2p", rdma=True, neighbor_every=3
+        )
+        with observe(metrics=False) as (tracer, _):
+            sim = Simulation(x, v, box, LennardJones(cutoff=2.5), cfg, grid=(2, 2, 2))
+            if plan is not None:
+                with FAULTS.inject(plan):
+                    sim.run(steps)
+            else:
+                sim.run(steps)
+            return detect_races(tracer)
+
+    clean = probe()
+    report.add(
+        "race detector silent on fault-free RDMA run",
+        clean.clean,
+        f"{len(clean.findings)} hazard(s) in {clean.events_analyzed} events",
+    )
+
+    hazards = probe(
+        FaultPlan(
+            seed=3,
+            faults=(
+                FaultSpec(kind="rdma-stale", count=1, severity=2),
+                FaultSpec(kind="ring-stale", count=1, severity=2),
+            ),
+        )
+    )
+    report.add(
+        "race detector flags injected §3.4 hazards (HB001)",
+        any(f.rule == "HB001" for f in hazards.findings),
+        f"rules {sorted(hazards.by_rule())}",
+    )
 
 
 def _ghost_digest(sim: Simulation) -> str:

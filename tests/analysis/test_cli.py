@@ -1,0 +1,135 @@
+"""``repro analyze`` exit codes/output and the selfcheck failure contract."""
+
+import json
+
+import repro.cli as repro_cli
+from repro.analysis.cli import main as analyze_main
+from repro.analysis.findings import SCHEMA
+
+
+SEEDED = "ring = RecvBufferRing(engine, 0, cap, depth=3)\n"
+
+
+class TestAnalyzeCli:
+    def test_clean_static_run_exits_zero(self, capsys):
+        assert analyze_main(["--no-dynamic"]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_seeded_bug_exits_one_and_names_the_rule(self, tmp_path, capsys):
+        fixture = tmp_path / "seeded.py"
+        fixture.write_text(SEEDED)
+        code = analyze_main(
+            ["--paths", str(fixture), "--no-introspect", "--no-dynamic"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "CL001" in out and "seeded.py:1" in out
+
+    def test_json_report_matches_schema(self, capsys):
+        assert analyze_main(["--no-dynamic", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == SCHEMA
+        assert doc["tool"] == "analyze"
+        assert doc["findings"] == []
+        assert doc["summary"]["files_analyzed"] == 14
+
+    def test_strict_fails_on_warning_findings(self, tmp_path, capsys, monkeypatch):
+        """--strict gates on *any* finding, not only errors."""
+        from repro.analysis import cli as analysis_cli
+        from repro.analysis.findings import AnalysisReport, Finding
+
+        def warn_only(paths=None, introspect=True):
+            report = AnalysisReport(tool="commlint")
+            report.add(Finding(rule="CL001", message="w", severity="warning"))
+            return report
+
+        monkeypatch.setattr(
+            "repro.analysis.commlint.run_commlint", warn_only
+        )
+        assert analysis_cli.main(["--no-dynamic"]) == 0
+        assert analysis_cli.main(["--no-dynamic", "--strict"]) == 1
+
+    def test_missing_fault_plan_exits_two(self, capsys):
+        assert analyze_main(["--faults", "/nonexistent/plan.json"]) == 2
+        assert "cannot load fault plan" in capsys.readouterr().out
+
+    def test_trace_file_mode_flags_saved_hazards(self, tmp_path, capsys):
+        from repro.faults import FAULTS, FaultPlan, FaultSpec
+        from repro.md.lattice import fcc_lattice, lj_density_to_cell, maxwell_velocities
+        from repro.md.potentials import LennardJones
+        from repro.md.simulation import Simulation, SimulationConfig
+        from repro.obs import hbevents, observe
+        from repro.obs.export import write_chrome_trace
+
+        hbevents.reset()
+        path = str(tmp_path / "stale.json")
+        edge = lj_density_to_cell(0.8442)
+        x, box = fcc_lattice((4, 4, 4), edge)
+        v = maxwell_velocities(x.shape[0], 1.44, seed=7)
+        cfg = SimulationConfig(
+            dt=0.005, skin=0.3, pattern="p2p", rdma=True, neighbor_every=3
+        )
+        plan = FaultPlan(
+            seed=3, faults=(FaultSpec(kind="rdma-stale", count=1, severity=2),)
+        )
+        with observe(metrics=False) as (tracer, _):
+            sim = Simulation(x, v, box, LennardJones(cutoff=2.5), cfg, grid=(2, 2, 2))
+            with FAULTS.inject(plan):
+                sim.run(6)
+            write_chrome_trace(path, tracer)
+        assert analyze_main(["--trace", path]) == 1
+        out = capsys.readouterr().out
+        assert "HB001" in out
+
+    def test_dispatch_through_repro_cli(self, capsys):
+        """``python -m repro analyze ...`` routes to the analysis CLI."""
+        assert repro_cli.main(["analyze", "--no-dynamic"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+
+class TestSelfcheckExitContract:
+    """--selfcheck must exit nonzero and print the failing check names."""
+
+    @staticmethod
+    def fake_report(*checks):
+        from repro.selfcheck import SelfCheckReport
+
+        report = SelfCheckReport()
+        for name, passed in checks:
+            report.add(name, passed)
+        return report
+
+    def test_failure_exits_one_and_names_checks(self, monkeypatch, capsys):
+        report = self.fake_report(
+            ("energy conservation", True),
+            ("commlint clean on the communication stack", False),
+            ("race detector silent on fault-free RDMA run", False),
+        )
+        monkeypatch.setattr(
+            "repro.selfcheck.run_selfcheck", lambda fault_plan=None: report
+        )
+        assert repro_cli.main(["--selfcheck"]) == 1
+        out = capsys.readouterr().out
+        assert (
+            "# selfcheck FAILED: commlint clean on the communication stack, "
+            "race detector silent on fault-free RDMA run" in out
+        )
+
+    def test_success_exits_zero(self, monkeypatch, capsys):
+        report = self.fake_report(("energy conservation", True))
+        monkeypatch.setattr(
+            "repro.selfcheck.run_selfcheck", lambda fault_plan=None: report
+        )
+        assert repro_cli.main(["--selfcheck"]) == 0
+        assert "FAILED" not in capsys.readouterr().out
+
+    def test_analysis_battery_is_registered(self):
+        """The real battery wires the four analysis checks in."""
+        import inspect
+
+        from repro import selfcheck
+
+        assert hasattr(selfcheck, "_analysis_checks")
+        source = inspect.getsource(selfcheck.run_selfcheck)
+        assert "_analysis_checks" in source
