@@ -48,6 +48,7 @@ RULES: dict[str, str] = {
     "CL005": "send/recv plan not Newton-symmetric (send offsets must negate recv, §3.1)",
     "CL006": "RDMA put targets a literal/unexchanged STag or skips the window exchange (§3.4)",
     "CL007": "RDMA buffer size not derived from (or below) the analytic ghost maximum (§3.4)",
+    "CL008": "pooled send buffer not dominated by the GhostBudget analytic maximum (§3.4)",
 }
 
 _SUPPRESS_RE = re.compile(r"#\s*commlint:\s*disable=([A-Z0-9,\s]+)")
@@ -60,6 +61,7 @@ _OFFSET_RECV_RE = re.compile(r"recv.*offset", re.IGNORECASE)
 DEFAULT_MODULES = (
     "core/analytic.py",
     "core/border_bins.py",
+    "core/comm_plan.py",
     "core/exchange_base.py",
     "core/fine_p2p.py",
     "core/ghost.py",
@@ -416,6 +418,47 @@ def _check_buffer_sizing(tree: ast.Module, path: str) -> list[Finding]:
     return findings
 
 
+def _check_pool_sizing(tree: ast.Module, path: str) -> list[Finding]:
+    """CL008: pooled send buffers must size from the GhostBudget.
+
+    Two syntactic hazards: a ``BufferPool`` class whose sizing logic
+    never references a GhostBudget analytic method (the dominance rule
+    would be unenforceable), and a ``BufferPool(...)`` construction fed
+    a bare literal instead of a budget object.
+    """
+    findings = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == "BufferPool":
+            if not any(_derives_from_budget(sub) for sub in node.body):
+                findings.append(
+                    Finding(
+                        rule="CL008",
+                        path=path,
+                        line=node.lineno,
+                        message="BufferPool sizing logic never references a "
+                        "GhostBudget analytic method",
+                        detail="pooled pack buffers follow the same dominance "
+                        "discipline as the RDMA rings: capacity derives from "
+                        "the analytic ghost maximum so steady state never "
+                        "reallocates (paper §3.4)",
+                    )
+                )
+        elif isinstance(node, ast.Call) and _call_name(node) == "BufferPool":
+            budget_node = _arg(node, 0, "budget")
+            if _literal_int(budget_node) is not None:
+                findings.append(
+                    Finding(
+                        rule="CL008",
+                        path=path,
+                        line=node.lineno,
+                        message="BufferPool budget is a bare literal",
+                        detail="pass a GhostBudget so the pool capacity tracks "
+                        "the analytic maximum, not a guessed constant",
+                    )
+                )
+    return findings
+
+
 _STATIC_RULES = (
     _check_ring_depth,
     _check_duplicate_bindings,
@@ -423,6 +466,7 @@ _STATIC_RULES = (
     _check_plan_symmetry,
     _check_rdma_targets,
     _check_buffer_sizing,
+    _check_pool_sizing,
 )
 
 
@@ -666,11 +710,62 @@ def _introspect_buffer_sizing() -> list[Finding]:
     return findings
 
 
+def _introspect_pool_sizing() -> list[Finding]:
+    """CL008 on a live BufferPool: analytic dominance + counted growth."""
+    from repro.core.comm_plan import BufferPool
+    from repro.core.ghost import GhostBudget
+
+    findings = []
+    budget = GhostBudget(a=8.0, r=2.5, density=0.05)
+    path, line = _anchor(BufferPool)
+    analytic = int(budget.max_ghost_atoms(False))
+
+    pool = BufferPool(budget)
+    buf = pool.vec(analytic // 2)
+    if buf.shape[0] < analytic:
+        findings.append(
+            Finding(
+                rule="CL008",
+                path=path,
+                line=line,
+                message=f"pool capacity {buf.shape[0]} is below the analytic "
+                f"ghost maximum {analytic}",
+            )
+        )
+    # Steady state: every in-budget request reuses the one allocation.
+    pool.vec(analytic // 4)
+    pool.vec(analytic)
+    if pool.allocations != 1 or pool.grow_events != 0:
+        findings.append(
+            Finding(
+                rule="CL008",
+                path=path,
+                line=line,
+                message=f"in-budget requests reallocated (allocations="
+                f"{pool.allocations}, grow_events={pool.grow_events})",
+            )
+        )
+    # Growth past the analytic maximum must be possible but *counted*.
+    pool.vec(analytic * 2)
+    if pool.grow_events != 1:
+        findings.append(
+            Finding(
+                rule="CL008",
+                path=path,
+                line=line,
+                message=f"over-budget growth was not counted (grow_events="
+                f"{pool.grow_events}, expected 1)",
+            )
+        )
+    return findings
+
+
 _INTROSPECTIVE_CHECKS = (
     _introspect_vcq_bindings,
     _introspect_plan_symmetry,
     _introspect_ring_defaults,
     _introspect_buffer_sizing,
+    _introspect_pool_sizing,
 )
 
 
@@ -681,9 +776,14 @@ def run_introspection() -> list[Finding]:
         try:
             findings.extend(check())
         except Exception as exc:  # pragma: no cover - diagnostic path
+            rule = "CL007"
+            if "vcq" in check.__name__:
+                rule = "CL003"
+            elif "pool" in check.__name__:
+                rule = "CL008"
             findings.append(
                 Finding(
-                    rule="CL003" if "vcq" in check.__name__ else "CL007",
+                    rule=rule,
                     message=f"introspective check {check.__name__} crashed: {exc!r}",
                 )
             )

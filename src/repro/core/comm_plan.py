@@ -1,0 +1,227 @@
+"""Persistent per-rank communication plans and pooled flat buffers.
+
+The paper's §3.4 discipline — compute addresses and sizes once,
+pre-register, then reuse every step — applied to the *functional*
+exchange hot path.  After the border stage rebuilds the routes, each
+rank's forward/reverse replay is fully determined: which atom rows to
+gather, which PBC shift each row gets, which peer/tag each contiguous
+segment goes to, and where received blocks land.  A :class:`RankPlan`
+freezes all of that into flat arrays at plan-build time so the per-step
+work collapses to
+
+* **pack**: one ``np.take`` gather into a pooled send buffer plus one
+  vectorized shift add (forward), and
+* **unpack**: one signed ``bincount`` scatter-add over the concatenated
+  contributions (reverse), shared by the message fast path, the faulted
+  slow path and the RDMA ring drain so all three stay bit-identical.
+
+Buffers live in a :class:`BufferPool` that persists across plan rebuilds
+(reneighboring changes the *indices*, not the buffer capacity) and is
+sized from the :class:`~repro.core.ghost.GhostBudget` analytic maximum
+like the RDMA rings — growth is a counted fallback, not the steady
+state.
+
+Bit-identity notes (load-bearing, do not "simplify"):
+
+* the shift add runs unconditionally over the whole packed block when
+  shifts apply — skipping all-zero shifts would turn ``-0.0`` into
+  ``+0.0`` relative to the seed path's ``payload += route.shift``;
+* the reverse scatter is bounded to ``data[:scatter_len]`` (the local
+  atoms at plan-build time) so it never writes ghost rows — zero-copy
+  reverse payloads are live views of ghost rows while owners apply.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.ghost import GhostBudget
+from repro.md.kernels import scatter_signed_vec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (exchange_base imports us)
+    from repro.core.exchange_base import RecvRoute, SendRoute
+
+
+class BufferPool:
+    """Preallocated pack/unpack storage for one rank, reused forever.
+
+    Capacity is derived from the analytic ghost maximum when a
+    :class:`GhostBudget` is available (the same dominance rule commlint
+    CL008 enforces for the RDMA rings); growing past it is possible but
+    counted in :attr:`grow_events` so benchmarks can gate on zero.
+    """
+
+    def __init__(self, budget: GhostBudget | None = None, full_shell: bool = False) -> None:
+        self.budget = budget
+        self.full_shell = full_shell
+        self.allocations = 0
+        self.grow_events = 0
+        self._vec: np.ndarray | None = None
+        self._scalar: np.ndarray | None = None
+
+    def _capacity_for(self, rows: int) -> int:
+        if self.budget is not None:
+            analytic = int(self.budget.max_ghost_atoms(self.full_shell))
+            if rows <= analytic:
+                return analytic
+        # Fallback/growth path: geometric headroom, counted by callers.
+        return max(rows, 16) * 2
+
+    def vec(self, rows: int) -> np.ndarray:
+        """A float64 ``(>= rows, 3)`` buffer (positions/forces)."""
+        if self._vec is None or self._vec.shape[0] < rows:
+            if self._vec is not None:
+                self.grow_events += 1
+            self._vec = np.empty((self._capacity_for(rows), 3), dtype=np.float64)
+            self.allocations += 1
+        return self._vec
+
+    def scalar(self, rows: int) -> np.ndarray:
+        """A float64 ``(>= rows,)`` buffer (EAM per-atom scalars)."""
+        if self._scalar is None or self._scalar.shape[0] < rows:
+            if self._scalar is not None:
+                self.grow_events += 1
+            self._scalar = np.empty(self._capacity_for(rows), dtype=np.float64)
+            self.allocations += 1
+        return self._scalar
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes currently held by the pool."""
+        total = 0
+        if self._vec is not None:
+            total += self._vec.nbytes
+        if self._scalar is not None:
+            total += self._scalar.nbytes
+        return total
+
+
+class _Segment:
+    """One contiguous slice of the packed buffer bound to a peer/tag."""
+
+    __slots__ = ("peer", "start", "stop", "tag", "nbytes_vec", "nbytes_scalar")
+
+    def __init__(self, peer: int, start: int, stop: int, tag: tuple) -> None:
+        self.peer = peer
+        self.start = start
+        self.stop = stop
+        self.tag = tag
+        n = stop - start
+        self.nbytes_vec = n * 24  # 3 x float64
+        self.nbytes_scalar = n * 8
+
+
+class _RecvSegment:
+    """One incoming ghost block (destination range in the atom arrays)."""
+
+    __slots__ = ("peer", "lo", "n", "tag", "nbytes_vec", "nbytes_scalar")
+
+    def __init__(self, peer: int, lo: int, n: int, tag: tuple) -> None:
+        self.peer = peer
+        self.lo = lo
+        self.n = n
+        self.tag = tag
+        self.nbytes_vec = n * 24
+        self.nbytes_scalar = n * 8
+
+
+class RankPlan:
+    """Frozen replay plan for one rank, valid until reneighboring."""
+
+    __slots__ = (
+        "n_pack",
+        "fwd_idx",
+        "shift_rows",
+        "send_segments",
+        "recv_segments",
+        "scatter_len",
+        "pool",
+        "_tag_cache",
+    )
+
+    def __init__(
+        self,
+        sends: list[SendRoute],
+        recvs: list[RecvRoute],
+        nlocal: int,
+        pool: BufferPool,
+    ) -> None:
+        counts = [route.count for route in sends]
+        self.n_pack = int(sum(counts))
+        if sends:
+            self.fwd_idx = np.concatenate([route.send_idx for route in sends])
+        else:
+            self.fwd_idx = np.empty(0, dtype=np.intp)
+        # Per-row shift table: adding it is bit-identical to the seed's
+        # per-route broadcast add (same addends, same dtype).
+        if self.n_pack:
+            self.shift_rows = np.repeat(
+                np.stack([route.shift for route in sends]), counts, axis=0
+            )
+        else:
+            self.shift_rows = np.empty((0, 3), dtype=np.float64)
+        self.send_segments: list[_Segment] = []
+        cursor = 0
+        for route, n in zip(sends, counts):
+            self.send_segments.append(
+                _Segment(route.peer, cursor, cursor + n, route.tag)
+            )
+            cursor += n
+        self.recv_segments = [
+            _RecvSegment(route.peer, route.recv_start, route.recv_count, route.tag)
+            for route in recvs
+        ]
+        self.scatter_len = nlocal
+        self.pool = pool
+        self._tag_cache: dict[str, tuple[list[tuple], list[tuple]]] = {}
+
+    # -- tags ---------------------------------------------------------------
+    def tags(self, phase: str) -> tuple[list[tuple], list[tuple]]:
+        """(send tags, recv tags) for ``phase``, built once per plan."""
+        cached = self._tag_cache.get(phase)
+        if cached is None:
+            cached = (
+                [seg.tag + (phase,) for seg in self.send_segments],
+                [seg.tag + (phase,) for seg in self.recv_segments],
+            )
+            self._tag_cache[phase] = cached
+        return cached
+
+    # -- pack / unpack ------------------------------------------------------
+    def pack_vec(self, data: np.ndarray, apply_shift: bool) -> np.ndarray:
+        """Gather the send rows of a (N, 3) array into the pooled buffer."""
+        buf = self.pool.vec(self.n_pack)
+        out = buf[: self.n_pack]
+        np.take(data, self.fwd_idx, axis=0, out=out)
+        if apply_shift:
+            out += self.shift_rows
+        return buf
+
+    def pack_scalar(self, data: np.ndarray) -> np.ndarray:
+        """Gather the send rows of a 1-D per-atom array."""
+        buf = self.pool.scalar(self.n_pack)
+        np.take(data, self.fwd_idx, out=buf[: self.n_pack])
+        return buf
+
+    def unpack_buffer(self, vec: bool) -> np.ndarray:
+        """The pooled buffer reverse contributions are collected into."""
+        return self.pool.vec(self.n_pack) if vec else self.pool.scalar(self.n_pack)
+
+    def apply_reverse(self, data: np.ndarray, buf: np.ndarray) -> None:
+        """Fused scatter-add of all collected reverse contributions.
+
+        ``buf`` holds one row per packed send row, in send-segment order
+        (the same order the seed path iterated routes).  The scatter is
+        bounded to the plan-time local atoms; see the module docstring.
+        """
+        contrib = buf[: self.n_pack]
+        owned = data[: self.scatter_len]
+        if data.ndim == 2:
+            scatter_signed_vec(owned, self.fwd_idx, contrib, 1)
+        else:
+            if self.fwd_idx.size:
+                owned += np.bincount(
+                    self.fwd_idx, weights=contrib, minlength=self.scatter_len
+                )

@@ -25,10 +25,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.comm_plan import BufferPool, RankPlan
 from repro.faults.injector import FAULTS, RetryExhaustedError
 from repro.md.atoms import Atoms
 from repro.md.domain import Domain
-from repro.obs.trace import TRACER
+from repro.obs.metrics import METRICS
+from repro.obs.trace import NULL_SPAN, TRACER
+from repro.runtime.transport import SentMessage
 from repro.runtime.world import RankContext, World
 
 
@@ -107,6 +110,22 @@ class GhostExchange:
         # Robustness-layer accounting (only moves under a fault session).
         self.retries = 0
         self.retry_model_time = 0.0
+        # Plan cache (section 3.4 reuse discipline): routes are frozen
+        # into flat RankPlans on first use after every border stage and
+        # replayed until the epoch moves (reneighbor/migration).
+        self._plan_epoch = 0
+        self._plans: dict[int, RankPlan] = {}
+        self._plans_built_epoch = -1
+        self._pools: dict[int, BufferPool] = {}
+        self._model_cache: dict = {}
+        self._plan_builds = 0
+        self._fastpath_phases = 0
+        # Direct-delivery wiring (built with the plans): every send
+        # segment resolved to its destination slice, so a replayed phase
+        # is pure slice copies with no per-message mailbox traffic.
+        self._fwd_deliveries: list[tuple[int, int, int, int, int, int]] | None = None
+        self._rev_deliveries: list[tuple[int, int, int, int, int, int]] | None = None
+        self._phase_msgs: dict = {}
 
     # -- helpers ----------------------------------------------------------
     def atoms_of(self, rank: int) -> Atoms:
@@ -139,9 +158,131 @@ class GhostExchange:
 
     def _phase_span(self, phase: str):
         """Trace span wrapping one communication phase of this pattern."""
+        if not TRACER.enabled:
+            # Skip even the span-argument construction on the hot path.
+            return NULL_SPAN
         return TRACER.span(
             f"{self.name}.{phase}", cat="comm", track="comm", pattern=self.name, phase=phase
         )
+
+    # -- plan cache ----------------------------------------------------------
+    def _clear_routes(self) -> None:
+        """Drop all routes and invalidate cached plans (border stage)."""
+        for rr in self.routes.values():
+            rr.clear()
+        self._invalidate_plans()
+
+    def _invalidate_plans(self) -> None:
+        """Bump the plan epoch: cached plans/model results are stale."""
+        self._plan_epoch += 1
+        self._model_cache.clear()
+
+    def _plan_budget(self) -> object | None:
+        """GhostBudget used to size the buffer pools (None = grow lazily)."""
+        return None
+
+    def _plans_current(self) -> dict[int, RankPlan]:
+        """The per-rank plans for the current route epoch (built lazily)."""
+        if self._plans_built_epoch != self._plan_epoch:
+            budget = self._plan_budget()
+            for rank in range(self.world.size):
+                pool = self._pools.get(rank)
+                if pool is None:
+                    pool = BufferPool(budget=budget, full_shell=self.full_shell)
+                    self._pools[rank] = pool
+                rr = self.routes[rank]
+                self._plans[rank] = RankPlan(
+                    sends=rr.sends,
+                    recvs=rr.recvs,
+                    nlocal=self.atoms_of(rank).nlocal,
+                    pool=pool,
+                )
+            self._wire_deliveries()
+            self._plans_built_epoch = self._plan_epoch
+            self._plan_builds += 1
+        return self._plans
+
+    def _wire_deliveries(self) -> None:
+        """Pair every send segment with its destination recv segment.
+
+        In the lockstep world each send route has exactly one matching
+        recv route on the peer (same base tag, mirrored peer), so the
+        forward stage can write packed slices straight into the
+        receiver's ghost rows and the reverse stage can collect ghost
+        slices straight into the owner's unpack buffer.  If any pairing
+        is missing (sabotaged routes), wiring is dropped and the
+        per-route slow path runs instead.
+        """
+        self._phase_msgs = {}
+        size = self.world.size
+        recv_maps = {
+            rank: {(seg.peer, seg.tag): seg for seg in self._plans[rank].recv_segments}
+            for rank in range(size)
+        }
+        fwd: list[tuple[int, int, int, int, int, int]] = []
+        rev: list[tuple[int, int, int, int, int, int]] = []
+        for rank in range(size):
+            for seg in self._plans[rank].send_segments:
+                rseg = recv_maps[seg.peer].get((rank, seg.tag))
+                if rseg is None or rseg.n != seg.stop - seg.start:
+                    self._fwd_deliveries = None
+                    self._rev_deliveries = None
+                    return
+                hi = rseg.lo + rseg.n
+                fwd.append((rank, seg.start, seg.stop, seg.peer, rseg.lo, hi))
+                rev.append((seg.peer, rseg.lo, hi, rank, seg.start, seg.stop))
+        self._fwd_deliveries = fwd
+        self._rev_deliveries = rev
+
+    def _phase_messages(self, phase: str, vec: bool, forward: bool) -> list:
+        """The phase's :class:`SentMessage` records, built once per plan.
+
+        The fast path replays identical traffic every step between
+        reneighborings, so the per-message records are precomputed in
+        the seed's send order (rank-major, segment order) and appended
+        wholesale on each replay.
+        """
+        key = (phase, vec, forward)
+        msgs = self._phase_msgs.get(key)
+        if msgs is None:
+            msgs = []
+            for rank in range(self.world.size):
+                plan = self._plans[rank]
+                send_tags, recv_tags = plan.tags(phase)
+                segs, tags = (
+                    (plan.send_segments, send_tags)
+                    if forward
+                    else (plan.recv_segments, recv_tags)
+                )
+                for seg, tag in zip(segs, tags):
+                    msgs.append(
+                        SentMessage(
+                            rank, seg.peer, tag,
+                            seg.nbytes_vec if vec else seg.nbytes_scalar,
+                            phase,
+                        )
+                    )
+            self._phase_msgs[key] = msgs
+        return msgs
+
+    def _record_phase_traffic(self, log, msgs: list) -> None:
+        """Append one replayed phase's records to the traffic log."""
+        if log.max_messages is None:
+            log.messages.extend(msgs)
+        else:
+            for m in msgs:
+                log.record(m)
+
+    def plan_stats(self) -> dict[str, int]:
+        """Allocation/reuse counters of the plan cache and buffer pools."""
+        pools = list(self._pools.values())
+        return {
+            "plan_builds": self._plan_builds,
+            "fastpath_phases": self._fastpath_phases,
+            "pool_allocations": sum(p.allocations for p in pools),
+            "pool_grow_events": sum(p.grow_events for p in pools),
+            "pool_bytes": sum(p.nbytes for p in pools),
+        }
 
     # -- generic forward/reverse -------------------------------------------------
     def forward(self) -> None:
@@ -217,12 +358,37 @@ class GhostExchange:
             f"pattern {self.name!r})"
         )
 
+    def _fastpath_ok(self) -> bool:
+        """Whether the pooled zero-copy replay may run.
+
+        An armed fault plane or enabled observability takes the slow
+        path, which produces bit-identical data through the full
+        bookkeeping.  A session with neither message nor RDMA faults
+        armed cannot touch the data plane (network-kind faults only
+        price modeled time, which is simulated separately), so the fast
+        path stays on — the faults-off guard measures this idle cost.
+        """
+        session = FAULTS.session
+        return (
+            (
+                session is None
+                or not (session.message_faults or session.rdma_faults)
+            )
+            and not TRACER.enabled
+            and not METRICS.enabled
+        )
+
     # Subclasses may override for staged execution or RDMA data planes.
     def _forward_array(
         self, arrays: dict[int, np.ndarray], apply_shift: bool, phase: str
     ) -> None:
         transport = self.world.transport
         transport.set_phase(phase)
+        if self._fastpath_ok():
+            self._plans_current()
+            if self._fwd_deliveries is not None:
+                self._forward_fast(arrays, apply_shift, phase, transport)
+                return
         for rank in range(self.world.size):
             data = arrays[rank]
             for route in self.routes[rank].sends:
@@ -237,9 +403,50 @@ class GhostExchange:
                 lo, n = route.recv_start, route.recv_count
                 data[lo : lo + n] = payload
 
+    def _forward_fast(
+        self,
+        arrays: dict[int, np.ndarray],
+        apply_shift: bool,
+        phase: str,
+        transport,
+        record: bool = True,
+    ) -> None:
+        """Pooled replay of the forward stage: one gather, direct copies.
+
+        Each rank's send rows are gathered into its pooled buffer by one
+        ``np.take``; the pre-wired deliveries then copy every packed
+        slice straight into the receiver's ghost rows (same bytes the
+        mailbox round trip would move, none of its bookkeeping).  The
+        traffic log still receives the seed's exact per-message records
+        (``record=False`` for the RDMA plane, whose PUTs are not logged
+        messages in the first place).
+        """
+        plans = self._plans
+        size = self.world.size
+        vec = arrays[0].ndim == 2
+        bufs = [
+            plans[rank].pack_vec(arrays[rank], apply_shift)
+            if vec
+            else plans[rank].pack_scalar(arrays[rank])
+            for rank in range(size)
+        ]
+        if record:
+            self._record_phase_traffic(
+                transport.log, self._phase_messages(phase, vec, forward=True)
+            )
+        for src, s, e, dst, lo, hi in self._fwd_deliveries:
+            arrays[dst][lo:hi] = bufs[src][s:e]
+        self._fastpath_phases += 1
+
     def _reverse_sum_array(self, arrays: dict[int, np.ndarray], phase: str) -> None:
         transport = self.world.transport
         transport.set_phase(phase)
+        if self._fastpath_ok():
+            self._plans_current()
+            if self._rev_deliveries is not None:
+                self._reverse_fast(arrays, phase, transport)
+                return
+        plans = self._plans_current()
         for rank in range(self.world.size):
             data = arrays[rank]
             for route in self.routes[rank].recvs:
@@ -256,8 +463,39 @@ class GhostExchange:
                 self._recv(transport, rank, route.peer, route.tag + (phase,))
                 for route in self.routes[rank].sends
             ]
-            for route, payload in zip(self.routes[rank].sends, received):
-                np.add.at(data, route.send_idx, payload)
+            # Apply through the shared fused plan scatter so slow-path
+            # (faulted/observed) sums stay bit-identical to the fast path.
+            plan = plans[rank]
+            buf = plan.unpack_buffer(vec=data.ndim == 2)
+            for seg, payload in zip(plan.send_segments, received):
+                buf[seg.start : seg.stop] = payload
+            plan.apply_reverse(data, buf)
+
+    def _reverse_fast(
+        self, arrays: dict[int, np.ndarray], phase: str, transport,
+        record: bool = True,
+    ) -> None:
+        """Pooled replay of the reverse stage with a fused scatter-add.
+
+        Every ghost slice is copied straight into its owner's pooled
+        unpack buffer (in the owner's send-segment order), then each
+        owner applies one fused scatter.  Collect-all-then-apply-all is
+        safe because :meth:`RankPlan.apply_reverse` never writes past
+        the local atoms — the ghost rows being read are never mutated.
+        """
+        plans = self._plans
+        size = self.world.size
+        vec = arrays[0].ndim == 2
+        bufs = [plans[rank].unpack_buffer(vec) for rank in range(size)]
+        if record:
+            self._record_phase_traffic(
+                transport.log, self._phase_messages(phase, vec, forward=False)
+            )
+        for src, lo, hi, dst, s, e in self._rev_deliveries:
+            bufs[dst][s:e] = arrays[src][lo:hi]
+        for rank in range(size):
+            plans[rank].apply_reverse(arrays[rank], bufs[rank])
+        self._fastpath_phases += 1
 
     # -- migration -------------------------------------------------------------
     def exchange(self) -> None:
@@ -266,6 +504,9 @@ class GhostExchange:
         Runs with ghosts cleared (LAMMPS order: exchange -> borders).
         Positions are wrapped into the global box first.
         """
+        # Migration moves atoms between ranks: every cached plan (and
+        # modeled-time entry) is stale until the next border stage.
+        self._invalidate_plans()
         with self._phase_span("exchange"):
             self._exchange_impl()
 

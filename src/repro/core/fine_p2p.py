@@ -70,6 +70,13 @@ class FineGrainedP2PExchange(P2PExchange):
                 f"[1, {params.tnis_per_node}] (one VCQ per TNI per rank)"
             )
         self.pool = ThreadPoolModel(self.n_comm_threads, params)
+        # LPT schedules are pure functions of the current routes: cache
+        # them per (rank, bytes_per_atom) until the plan epoch moves.
+        self._sched_cache: dict[tuple[int, int], list[ThreadAssignment]] = {}
+
+    def _invalidate_plans(self) -> None:
+        super()._invalidate_plans()
+        self._sched_cache.clear()
 
     # -- scheduling --------------------------------------------------------
     def message_cost(self, nbytes: int, hops: int) -> float:
@@ -88,35 +95,25 @@ class FineGrainedP2PExchange(P2PExchange):
         """LPT-balance this rank's forward sends over the comm threads.
 
         Thread *t* drives the VCQ bound to TNI *t* (fine binding of
-        Fig. 7), so the TNI index equals the thread index.
+        Fig. 7), so the TNI index equals the thread index.  With
+        observability off the schedule is served from the plan-epoch
+        cache (it only depends on the routes); tracing/metrics runs
+        always recompute so spans and counters stay complete.
         """
+        cache_ok = not TRACER.enabled and not METRICS.enabled
+        if cache_ok:
+            cached = self._sched_cache.get((rank, bytes_per_atom))
+            if cached is not None:
+                return cached
+            out = self._assign_threads_impl(rank, bytes_per_atom)
+            self._sched_cache[(rank, bytes_per_atom)] = out
+            return out
         routes = self.routes[rank].sends
         with TRACER.span(
             f"{self.name}.schedule", cat="schedule", track="comm",
             rank=rank, n_messages=len(routes),
         ):
-            items = [
-                WorkItem(
-                    payload=n_idx,
-                    cost=self.message_cost(route.count * bytes_per_atom, route.hops),
-                )
-                for n_idx, route in enumerate(routes)
-            ]
-            bins = split_load(items, self.n_comm_threads)
-            out = []
-            for thread, bucket in enumerate(bins):
-                for item in bucket:
-                    n_idx = item.payload
-                    route = routes[n_idx]
-                    out.append(
-                        ThreadAssignment(
-                            neighbor_index=n_idx,
-                            nbytes=route.count * bytes_per_atom,
-                            hops=route.hops,
-                            thread=thread,
-                            tni=thread,
-                        )
-                    )
+            out = self._assign_threads_impl(rank, bytes_per_atom)
         if METRICS.enabled:
             METRICS.counter("comm_schedules_total").inc()
             loads = [0.0] * self.n_comm_threads
@@ -125,6 +122,34 @@ class FineGrainedP2PExchange(P2PExchange):
             mean = sum(loads) / len(loads)
             if mean > 0:
                 METRICS.gauge("comm_thread_balance").set(max(loads) / mean)
+        return out
+
+    def _assign_threads_impl(
+        self, rank: int, bytes_per_atom: int
+    ) -> list[ThreadAssignment]:
+        routes = self.routes[rank].sends
+        items = [
+            WorkItem(
+                payload=n_idx,
+                cost=self.message_cost(route.count * bytes_per_atom, route.hops),
+            )
+            for n_idx, route in enumerate(routes)
+        ]
+        bins = split_load(items, self.n_comm_threads)
+        out = []
+        for thread, bucket in enumerate(bins):
+            for item in bucket:
+                n_idx = item.payload
+                route = routes[n_idx]
+                out.append(
+                    ThreadAssignment(
+                        neighbor_index=n_idx,
+                        nbytes=route.count * bytes_per_atom,
+                        hops=route.hops,
+                        thread=thread,
+                        tni=thread,
+                    )
+                )
         return out
 
     def comm_schedule(self, rank: int, bytes_per_atom: int = 24) -> list[Message]:

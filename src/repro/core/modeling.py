@@ -15,9 +15,12 @@ from __future__ import annotations
 from repro.core.exchange_base import GhostExchange
 from repro.core.fine_p2p import FineGrainedP2PExchange
 from repro.core.three_stage import ThreeStageExchange
+from repro.faults.injector import FAULTS
 from repro.machine.params import FUGAKU, MachineParams
 from repro.network.simulator import Message, NetworkSimulator
 from repro.network.stacks import MpiStack, SoftwareStack, UtofuStack
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACER
 
 
 def stack_for_exchange(
@@ -73,6 +76,20 @@ def modeled_exchange_time(
     bytes_per_atom = {"forward": 24, "reverse": 24, "border": 32}.get(phase)
     if bytes_per_atom is None:
         raise ValueError(f"unknown phase {phase!r}")
+    # The modeled time is a pure function of the routes, the phase and
+    # the machine params: with faults and observability off it is served
+    # from the exchange's plan-epoch cache (cleared on reneighboring).
+    # Traced/metered/faulted runs always re-simulate so their per-round
+    # model spans, counters and stall injections stay complete.
+    cache_ok = (
+        FAULTS.session is None and not TRACER.enabled and not METRICS.enabled
+    )
+    cache = getattr(exchange, "_model_cache", None)
+    if cache_ok and cache is not None:
+        key = (phase, rank, id(params))
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
     stack = stack_for_exchange(exchange, params)
     # Message combine / piggyback: uTofu paths always know lengths; the
     # MPI baseline only for fixed-size forward/reverse replays.
@@ -85,8 +102,12 @@ def modeled_exchange_time(
         stages: list[list[Message]] = []
         for i in range(0, len(msgs), 2):
             stages.append(msgs[i : i + 2])
-        return sim.run_staged(stages).completion_time
-    return sim.run_round(msgs).completion_time
+        result = sim.run_staged(stages).completion_time
+    else:
+        result = sim.run_round(msgs).completion_time
+    if cache_ok and cache is not None:
+        cache[(phase, rank, id(params))] = result
+    return result
 
 
 def modeled_step_comm_time(
@@ -100,7 +121,21 @@ def modeled_step_comm_time(
     Rebuild steps pay border (+ the exchange migration, approximated as
     a sparse border); ordinary steps pay forward; Newton runs add the
     reverse.
+
+    Like :func:`modeled_exchange_time`, the result is a pure function
+    of the routes, so between reneighborings it is served from the
+    exchange's plan-epoch cache (one lookup instead of a max over all
+    ranks' per-phase entries) whenever faults and observability are off.
     """
+    cache_ok = (
+        FAULTS.session is None and not TRACER.enabled and not METRICS.enabled
+    )
+    cache = getattr(exchange, "_model_cache", None)
+    key = ("step", rebuild, newton, id(params))
+    if cache_ok and cache is not None:
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
     ranks = range(exchange.world.size)
     if rebuild:
         t = max(modeled_exchange_time(exchange, "border", params, r) for r in ranks)
@@ -109,4 +144,6 @@ def modeled_step_comm_time(
         t = max(modeled_exchange_time(exchange, "forward", params, r) for r in ranks)
     if newton:
         t += max(modeled_exchange_time(exchange, "reverse", params, r) for r in ranks)
+    if cache_ok and cache is not None:
+        cache[key] = t
     return t

@@ -86,11 +86,17 @@ class P2PExchange(GhostExchange):
 
         self.use_border_bins = use_border_bins and radius == 1
         self._bins: dict[int, BorderBins] = {}
+        # Static border geometry per rank: the domain decomposition and
+        # the rank grid never change during a run, so peers, PBC shifts,
+        # tags and hop counts are computed once and replayed by every
+        # border stage (only the atom selection is per-call work).
+        self._geom: dict[int, tuple] = {}
 
         # RDMA plane state
         self.engine: RdmaEngine | None = None
         self.endpoints: dict[int, RdmaEndpoint] = {}
         self._density = density
+        self._budget: GhostBudget | None = None
         self.reregistrations = 0
 
     # -- neighbor arithmetic ---------------------------------------------------
@@ -101,19 +107,68 @@ class P2PExchange(GhostExchange):
     def _routes_tag(self, o_recv: tuple[int, int, int]) -> tuple:
         return ("p2p", o_recv)
 
+    def _border_geometry(self, rank: int) -> tuple:
+        """(sub-box, send geometry, recv geometry) of ``rank``, built once.
+
+        Send geometry is one ``(peer, shift, tag, wire tag, hops)`` tuple
+        per send offset (in offset order); recv geometry one
+        ``(src, tag, wire tag, hops)`` per recv offset.
+        """
+        geom = self._geom.get(rank)
+        if geom is None:
+            sub = self.sub_box_of(rank)
+            sends = []
+            for o_send in self.send_offsets:
+                o_recv = tuple(-o for o in o_send)
+                tag = self._routes_tag(o_recv)
+                sends.append(
+                    (
+                        self.peer_for(rank, o_send),
+                        self.shift_for_send(rank, o_send),
+                        tag,
+                        tag + ("border",),
+                        offset_hops(o_send),
+                    )
+                )
+            recvs = []
+            for o_recv in self.recv_offsets:
+                tag = self._routes_tag(o_recv)
+                recvs.append(
+                    (
+                        self.peer_for(rank, o_recv),
+                        tag,
+                        tag + ("border",),
+                        offset_hops(o_recv),
+                    )
+                )
+            geom = (sub, sends, recvs)
+            self._geom[rank] = geom
+        return geom
+
+    # -- analytic sizing -------------------------------------------------------------
+    def _plan_budget(self) -> GhostBudget:
+        """The analytic ghost budget sizing RDMA rings *and* buffer pools.
+
+        Computed once from the measured density (or the configured one)
+        and reused for every registration and pool allocation.
+        """
+        if self._budget is None:
+            sub_len = float(np.min(self.domain.sub_lengths))
+            if self._density is None:
+                total_atoms = sum(
+                    self.atoms_of(r).nlocal for r in range(self.world.size)
+                )
+                self._density = total_atoms / self.domain.box.volume
+            self._budget = GhostBudget(a=sub_len, r=self.rcomm, density=self._density)
+        return self._budget
+
     # -- RDMA setup -----------------------------------------------------------------
     def _ensure_rdma(self) -> None:
         """One-time registration of arrays and rings (setup stage)."""
         if not self.rdma or self.engine is not None:
             return
         self.engine = RdmaEngine()
-        sub_len = float(np.min(self.domain.sub_lengths))
-        if self._density is None:
-            total_atoms = sum(
-                self.atoms_of(r).nlocal for r in range(self.world.size)
-            )
-            self._density = total_atoms / self.domain.box.volume
-        budget = GhostBudget(a=sub_len, r=self.rcomm, density=self._density)
+        budget = self._plan_budget()
         for rank in range(self.world.size):
             atoms = self.atoms_of(rank)
             # Pre-size the atom arrays to the theoretical maximum so the
@@ -144,16 +199,19 @@ class P2PExchange(GhostExchange):
         transport = world.transport
         transport.set_phase("border")
         self._ensure_rdma()
-        for rr in self.routes.values():
-            rr.clear()
+        self._clear_routes()
         for rank in range(world.size):
             self.atoms_of(rank).clear_ghosts()
+        # With faults/observability off, border payloads skip the send
+        # envelope (rank checks, fault arming, per-message instants) but
+        # keep the identical traffic records.
+        fast = self._fastpath_ok()
 
         # Send sweep: every rank routes its border atoms to each
         # send-offset neighbor (bin-accelerated when exact).
         for rank in range(world.size):
             atoms = self.atoms_of(rank)
-            sub = self.sub_box_of(rank)
+            sub, send_geom, _ = self._border_geometry(rank)
             x_local = atoms.x_local()
 
             idx_lists = None
@@ -174,17 +232,14 @@ class P2PExchange(GhostExchange):
                 else:
                     mask = sub.border_mask(x_local, o_send, self.rcomm)
                     send_idx = np.flatnonzero(mask).astype(np.intp)
-                peer = self.peer_for(rank, o_send)
-                o_recv = tuple(-o for o in o_send)
-                shift = self.shift_for_send(rank, o_send)
-                tag = self._routes_tag(o_recv)
+                peer, shift, tag, wire_tag, hops = send_geom[n_idx]
                 self.routes[rank].sends.append(
                     SendRoute(
                         peer=peer,
                         send_idx=send_idx,
                         shift=shift,
                         tag=tag,
-                        hops=offset_hops(o_send),
+                        hops=hops,
                     )
                 )
                 payload = (
@@ -192,17 +247,27 @@ class P2PExchange(GhostExchange):
                     atoms.tag[send_idx],
                     atoms.type[send_idx],
                 )
-                transport.send(rank, peer, tag + ("border",), payload)
+                if fast:
+                    transport.send_fast(
+                        rank, peer, wire_tag, payload,
+                        payload[0].nbytes + payload[1].nbytes + payload[2].nbytes,
+                    )
+                else:
+                    transport.send(rank, peer, wire_tag, payload)
 
         # Receive sweep: append ghosts in canonical recv-offset order.
         for rank in range(world.size):
             atoms = self.atoms_of(rank)
-            for o_recv in self.recv_offsets:
-                src = self.peer_for(rank, o_recv)
-                tag = self._routes_tag(o_recv)
-                payload_x, payload_tag, payload_type = self._recv(
-                    transport, rank, src, tag + ("border",)
-                )
+            _, _, recv_geom = self._border_geometry(rank)
+            for src, tag, wire_tag, hops in recv_geom:
+                if fast:
+                    payload_x, payload_tag, payload_type = transport.recv_fast(
+                        rank, src, wire_tag
+                    )
+                else:
+                    payload_x, payload_tag, payload_type = self._recv(
+                        transport, rank, src, wire_tag
+                    )
                 start, count = atoms.append_ghosts(payload_x, payload_tag, payload_type)
                 self.routes[rank].recvs.append(
                     RecvRoute(
@@ -210,7 +275,7 @@ class P2PExchange(GhostExchange):
                         recv_start=start,
                         recv_count=count,
                         tag=tag,
-                        hops=offset_hops(o_recv),
+                        hops=hops,
                     )
                 )
 
@@ -227,6 +292,9 @@ class P2PExchange(GhostExchange):
         In hardware this rides in the border-stage descriptor (8 bytes);
         functionally we move a :class:`RemoteWindow` per route.
         """
+        if not TRACER.enabled:
+            self._exchange_windows_impl()
+            return
         with TRACER.span(
             f"{self.name}.window-piggyback", cat="rdma", track="comm", pattern=self.name
         ):
@@ -261,6 +329,22 @@ class P2PExchange(GhostExchange):
     # -- data planes --------------------------------------------------------------------
     def _forward_array(self, arrays, apply_shift: bool, phase: str) -> None:
         if self.rdma and apply_shift and phase == "forward":
+            # Unobserved replay: a windowed PUT lands the packed slice at
+            # exactly ``recv_start`` rows of the remote position array —
+            # the pre-wired direct delivery writes the same bytes to the
+            # same rows, so the staged-buffer/ring machinery (which only
+            # *observably* differs under faults, tracing or metrics) is
+            # skipped.  RDMA PUTs are not logged messages, hence no
+            # traffic records.
+            if self._fastpath_ok():
+                self._plans_current()
+                if self._fwd_deliveries is not None:
+                    self.world.transport.set_phase(phase)
+                    self._forward_fast(
+                        arrays, apply_shift, phase, self.world.transport,
+                        record=False,
+                    )
+                    return
             self._forward_rdma()
             return
         super()._forward_array(arrays, apply_shift, phase)
@@ -268,21 +352,46 @@ class P2PExchange(GhostExchange):
     def _forward_rdma(self) -> None:
         """Forward positions by direct PUT into remote position arrays."""
         self.world.transport.set_phase("forward")
+        if not TRACER.enabled:
+            self._forward_rdma_impl()
+            return
         with TRACER.span(
             f"{self.name}.forward-rdma", cat="rdma", track="comm", pattern=self.name
         ):
-            for rank in range(self.world.size):
-                endpoint = self.endpoints[rank]
-                atoms = self.atoms_of(rank)
-                for s_idx, route in enumerate(self.routes[rank].sends):
-                    packed = atoms.x[route.send_idx] + route.shift
-                    endpoint.put_positions(s_idx, packed)
-            # A PUT completes remotely only after the fence: poll until
-            # every in-flight (fault-deferred) forward PUT has landed.
-            self._rdma_fence("forward")
+            self._forward_rdma_impl()
+
+    def _forward_rdma_impl(self) -> None:
+        # One pooled gather per rank replaces the per-route fancy-index
+        # temporaries; put_positions copies the segment into the staged
+        # send buffer, so the pool is free for reuse immediately.  The
+        # packed values are bit-identical to the per-route form.
+        plans = self._plans_current()
+        for rank in range(self.world.size):
+            endpoint = self.endpoints[rank]
+            atoms = self.atoms_of(rank)
+            plan = plans[rank]
+            buf = plan.pack_vec(atoms.x, apply_shift=True)
+            for s_idx, seg in enumerate(plan.send_segments):
+                endpoint.put_positions(s_idx, buf[seg.start : seg.stop])
+        # A PUT completes remotely only after the fence: poll until
+        # every in-flight (fault-deferred) forward PUT has landed.
+        self._rdma_fence("forward")
+        self._fastpath_phases += 1
 
     def _reverse_sum_array(self, arrays, phase: str) -> None:
         if self.rdma and phase == "reverse":
+            # Same replay argument as forward: the ring round trip moves
+            # each ghost block byte-for-byte into the owner's pooled
+            # buffer and applies the shared fused scatter; the direct
+            # delivery is that copy without the ring bookkeeping.
+            if self._fastpath_ok():
+                self._plans_current()
+                if self._rev_deliveries is not None:
+                    self.world.transport.set_phase(phase)
+                    self._reverse_fast(
+                        arrays, phase, self.world.transport, record=False
+                    )
+                    return
             self._reverse_rdma()
             return
         super()._reverse_sum_array(arrays, phase)
@@ -290,12 +399,16 @@ class P2PExchange(GhostExchange):
     def _reverse_rdma(self) -> None:
         """Reverse forces via length-prefixed PUTs into receive rings."""
         self.world.transport.set_phase("reverse")
+        if not TRACER.enabled:
+            self._reverse_rdma_impl()
+            return
         with TRACER.span(
             f"{self.name}.reverse-rdma", cat="rdma", track="comm", pattern=self.name
         ):
             self._reverse_rdma_impl()
 
     def _reverse_rdma_impl(self) -> None:
+        plans = self._plans_current()
         # Ghost holders put into the owners' rings...
         for rank in range(self.world.size):
             endpoint = self.endpoints[rank]
@@ -310,11 +423,16 @@ class P2PExchange(GhostExchange):
                 ]
                 lo, n = route.recv_start, route.recv_count
                 endpoint.put_into_ring(r_idx, ring, atoms.f[lo : lo + n])
-        # ... and the owners drain them in deterministic order.
+        # ... and the owners drain them in deterministic order, collecting
+        # each route's block into the pooled buffer and applying one fused
+        # scatter — the same summation the message plane uses, so both
+        # planes stay bitwise identical.
         for rank in range(self.world.size):
             endpoint = self.endpoints[rank]
             atoms = self.atoms_of(rank)
-            for s_idx, route in enumerate(self.routes[rank].sends):
+            plan = plans[rank]
+            buf = plan.unpack_buffer(vec=True)
+            for seg, route in zip(plan.send_segments, self.routes[rank].sends):
                 ring = endpoint.recv_rings[
                     self._owner_ring_index(rank, route.peer, route.tag)
                 ]
@@ -325,7 +443,9 @@ class P2PExchange(GhostExchange):
                         f"reverse payload of {forces.shape[0]} rows does not "
                         f"match {route.count} border atoms"
                     )
-                np.add.at(atoms.f, route.send_idx, forces)
+                buf[seg.start : seg.stop] = forces
+            plan.apply_reverse(atoms.f, buf)
+        self._fastpath_phases += 1
 
     # -- RDMA-plane robustness (fence + ring retry) ---------------------------
     def _rdma_fence(self, stage: str) -> None:

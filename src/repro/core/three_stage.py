@@ -53,8 +53,7 @@ class ThreeStageExchange(GhostExchange):
         world = self.world
         transport = world.transport
         transport.set_phase("border")
-        for rr in self.routes.values():
-            rr.clear()
+        self._clear_routes()
         for rank in range(world.size):
             self.atoms_of(rank).clear_ghosts()
 
@@ -68,6 +67,9 @@ class ThreeStageExchange(GhostExchange):
 
         for k, swap in enumerate(self.swaps):
             dim, direction = swap.dim, swap.dir
+            if not TRACER.enabled:
+                self._border_swap(k, dim, direction, prev_recv, dim_first)
+                continue
             with TRACER.span(
                 f"swap{k}", cat="swap", track="comm", dim=dim, dir=direction
             ):

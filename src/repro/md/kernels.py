@@ -15,22 +15,35 @@ from __future__ import annotations
 import numpy as np
 
 
-def scatter_add_vec(out: np.ndarray, idx: np.ndarray, vec: np.ndarray) -> None:
-    """``out[idx] += vec`` for (N, 3) arrays, bincount-accelerated."""
+def scatter_signed_vec(
+    out: np.ndarray, idx: np.ndarray, vec: np.ndarray, sign: int
+) -> None:
+    """``out[idx] += sign * vec`` for (N, 3) arrays, bincount-accelerated.
+
+    The one signed reduction both force kernels and the communication
+    unpack path share; ``sign`` must be ``+1`` or ``-1``.  The add and
+    subtract branches are kept literal (``+=`` / ``-=``) so results stay
+    bit-identical to accumulating the un-negated weights directly.
+    """
     if idx.size == 0:
         return
     n = out.shape[0]
-    for k in range(out.shape[1]):
-        out[:, k] += np.bincount(idx, weights=vec[:, k], minlength=n)
+    if sign >= 0:
+        for k in range(out.shape[1]):
+            out[:, k] += np.bincount(idx, weights=vec[:, k], minlength=n)
+    else:
+        for k in range(out.shape[1]):
+            out[:, k] -= np.bincount(idx, weights=vec[:, k], minlength=n)
+
+
+def scatter_add_vec(out: np.ndarray, idx: np.ndarray, vec: np.ndarray) -> None:
+    """``out[idx] += vec`` for (N, 3) arrays, bincount-accelerated."""
+    scatter_signed_vec(out, idx, vec, 1)
 
 
 def scatter_sub_vec(out: np.ndarray, idx: np.ndarray, vec: np.ndarray) -> None:
     """``out[idx] -= vec`` for (N, 3) arrays."""
-    if idx.size == 0:
-        return
-    n = out.shape[0]
-    for k in range(out.shape[1]):
-        out[:, k] -= np.bincount(idx, weights=vec[:, k], minlength=n)
+    scatter_signed_vec(out, idx, vec, -1)
 
 
 def scatter_add_scalar(out: np.ndarray, idx: np.ndarray, values: np.ndarray) -> None:

@@ -88,47 +88,54 @@ def build_pairs(
 
     order = np.argsort(cell_id, kind="stable")
     sorted_cells = cell_id[order]
-    cell_start = np.searchsorted(sorted_cells, np.arange(total_cells), side="left")
-    cell_end = np.searchsorted(sorted_cells, np.arange(total_cells), side="right")
+    # One searchsorted gives every boundary: left edge of cell k is
+    # bounds[k], right edge is bounds[k + 1] (== left edge of k + 1 for
+    # integer ids).
+    bounds = np.searchsorted(sorted_cells, np.arange(total_cells + 1), side="left")
+    cell_start = bounds[:-1]
+    cell_end = bounds[1:]
 
     local_mask_sorted = order < nlocal
-    pairs_i: list[np.ndarray] = []
-    pairs_j: list[np.ndarray] = []
 
-    offsets = [
-        (ox, oy, oz)
-        for ox in (-1, 0, 1)
-        for oy in (-1, 0, 1)
-        for oz in (-1, 0, 1)
-    ]
-    for off in offsets:
-        noff = np.asarray(off, dtype=np.intp)
-        ncell3 = cell3[order] + noff
-        valid = np.all((ncell3 >= 0) & (ncell3 < ncell), axis=1)
-        # Only local atoms originate pairs.
-        valid &= local_mask_sorted
-        src = np.flatnonzero(valid)
-        if src.size == 0:
-            continue
-        ncid = ncell3[src] @ strides
-        starts = cell_start[ncid]
-        counts = cell_end[ncid] - starts
-        have = counts > 0
-        src = src[have]
-        if src.size == 0:
-            continue
-        starts = starts[have]
-        counts = counts[have]
-        i_sorted = np.repeat(src, counts)
-        j_sorted = _ranges_to_indices(starts, counts)
-        pairs_i.append(order[i_sorted])
-        pairs_j.append(order[j_sorted])
-
-    if not pairs_i:
+    # All 27 stencil offsets processed in one batch.  The flattened
+    # (offset, atom) enumeration is offset-major with atoms ascending —
+    # exactly the order a per-offset loop would concatenate in, so the
+    # resulting pair list (and with it every downstream accumulation
+    # order) is unchanged.
+    offsets = np.array(
+        [
+            (ox, oy, oz)
+            for ox in (-1, 0, 1)
+            for oy in (-1, 0, 1)
+            for oz in (-1, 0, 1)
+        ],
+        dtype=np.intp,
+    )
+    sorted_cell3 = cell3[order]
+    ncell3 = sorted_cell3[None, :, :] + offsets[:, None, :]
+    valid = ((ncell3 >= 0) & (ncell3 < ncell)).all(axis=2)
+    # Only local atoms originate pairs.
+    valid &= local_mask_sorted[None, :]
+    flat = np.flatnonzero(valid.ravel())
+    if flat.size == 0:
         e = np.empty(0, dtype=np.intp)
         return e, e
-    i = np.concatenate(pairs_i)
-    j = np.concatenate(pairs_j)
+    nsorted = sorted_cell3.shape[0]
+    src = flat % nsorted
+    ncid = ncell3.reshape(-1, 3)[flat] @ strides
+    starts = cell_start[ncid]
+    counts = cell_end[ncid] - starts
+    have = counts > 0
+    src = src[have]
+    if src.size == 0:
+        e = np.empty(0, dtype=np.intp)
+        return e, e
+    starts = starts[have]
+    counts = counts[have]
+    i_sorted = np.repeat(src, counts)
+    j_sorted = _ranges_to_indices(starts, counts)
+    i = order[i_sorted]
+    j = order[j_sorted]
 
     # --- distance + pair rules ---------------------------------------------
     keep = i != j

@@ -66,6 +66,14 @@ class SimulationConfig:
     #: also price each step's communication on the network simulator and
     #: accumulate it into ``timers.model`` (simulated Fugaku seconds)
     model_machine_time: bool = False
+    #: bound the transport's traffic log to the most recent N messages
+    #: (None keeps the unbounded seed behavior; summaries stay exact via
+    #: the log's running aggregates)
+    traffic_window: int | None = None
+    #: drop the per-message traffic log at the end of every step — for
+    #: long runs that never ask for per-message summaries.  Off by
+    #: default: benchmarks and self-checks read the full log.
+    clear_traffic_each_step: bool = False
     extra: dict = field(default_factory=dict)
 
 
@@ -112,6 +120,8 @@ class Simulation:
                 "shell_radius or use fewer ranks"
             )
         self._rcomm = rcomm
+        if config.traffic_window is not None:
+            self.world.transport.log.set_window(config.traffic_window)
         self.exchange = self._make_exchange(rcomm)
         self.half = config.newton and not potential.needs_full_list
         #: (from_pattern, to_pattern) of every fault-driven tier change
@@ -403,6 +413,9 @@ class Simulation:
         if self.config.thermo_every and self.step_count % self.config.thermo_every == 0:
             with self.timers.timing(Stage.OTHER):
                 self.samples.append(self.sample_thermo())
+
+        if self.config.clear_traffic_each_step:
+            self.world.transport.log.clear()
 
     def run(self, n_steps: int) -> None:
         """Advance ``n_steps`` timesteps."""

@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.machine.params import FUGAKU, MachineParams
 
 
@@ -78,6 +80,22 @@ class MpiStack(SoftwareStack):
             n += 1
         return n
 
+    # Vectorized forms for the batched simulator round: elementwise
+    # identical to the scalar methods above (np.where picks between the
+    # same two sums the scalar branch computes).
+    def injection_intervals(self, nbytes: np.ndarray) -> np.ndarray:
+        """Per-message ``T_inj`` for an array of sizes (batched round)."""
+        p = self.params
+        return np.where(
+            nbytes > p.mpi_rendezvous_threshold,
+            p.mpi_t_inj + p.mpi_rendezvous_extra,
+            p.mpi_t_inj,
+        )
+
+    def software_latencies(self, nbytes: np.ndarray) -> np.ndarray:
+        """Per-message software latency for an array of sizes."""
+        return np.full(nbytes.shape, self.params.mpi_per_message_overhead)
+
 
 @dataclass(frozen=True)
 class UtofuStack(SoftwareStack):
@@ -107,6 +125,15 @@ class UtofuStack(SoftwareStack):
     def supports_piggyback(self) -> bool:
         """True — small payloads ride in the descriptor."""
         return True
+
+    # Vectorized forms for the batched simulator round (both constants).
+    def injection_intervals(self, nbytes: np.ndarray) -> np.ndarray:
+        """Per-message ``T_inj`` for an array of sizes (batched round)."""
+        return np.full(nbytes.shape, self.params.utofu_t_inj)
+
+    def software_latencies(self, nbytes: np.ndarray) -> np.ndarray:
+        """Per-message software latency for an array of sizes."""
+        return np.full(nbytes.shape, self.software_latency(0))
 
 
 def stack_by_name(name: str, params: MachineParams = FUGAKU) -> SoftwareStack:

@@ -95,12 +95,20 @@ class BenchConfig:
 #: The declared suites.  ``smoke`` is the CI gate (seconds); ``full``
 #: covers the whole potential x pattern x grid x rdma lattice;
 #: ``faults-off`` reruns the smoke configs and additionally proves the
-#: disabled fault-injection layer is free (:func:`fault_overhead_guard`).
+#: disabled fault-injection layer is free (:func:`fault_overhead_guard`);
+#: ``comm-fastpath`` is the exchange-dominated set the plan-cache /
+#: flat-buffer fast path must speed up (gated by the ``speedup``
+#: subcommand); ``ci`` is smoke + comm-fastpath in one artifact.
 SUITES: dict[str, tuple[BenchConfig, ...]] = {
     "smoke": (
         BenchConfig("lj", "3stage", (2, 2, 2), rdma=False),
         BenchConfig("lj", "parallel-p2p", (2, 2, 2), rdma=True),
         BenchConfig("eam", "parallel-p2p", (2, 2, 2), rdma=True),
+    ),
+    "comm-fastpath": (
+        BenchConfig("lj", "p2p", (3, 3, 3), rdma=False, cells=(6, 6, 6), steps=40),
+        BenchConfig("lj", "parallel-p2p", (3, 3, 3), rdma=True, cells=(6, 6, 6), steps=40),
+        BenchConfig("eam", "parallel-p2p", (3, 3, 3), rdma=True, cells=(5, 5, 5), steps=15),
     ),
     "faults-off": (
         BenchConfig("lj", "3stage", (2, 2, 2), rdma=False),
@@ -117,6 +125,7 @@ SUITES: dict[str, tuple[BenchConfig, ...]] = {
         BenchConfig("eam", "parallel-p2p", (2, 2, 2), rdma=True),
     ),
 }
+SUITES["ci"] = SUITES["smoke"] + SUITES["comm-fastpath"]
 
 
 def build_simulation(cfg: BenchConfig):
@@ -202,6 +211,12 @@ def run_config(cfg: BenchConfig, repeats: int = 3) -> tuple[dict, object]:
             "top": cp.top_bottleneck(),
         },
     }
+    stats = getattr(sim.exchange, "plan_stats", None)
+    if stats is not None:
+        # Allocation-count evidence for the flat-buffer fast path: the
+        # ``speedup`` gate requires zero pool regrowth and a nonzero
+        # fast-path phase count on the comm-fastpath configurations.
+        record["alloc"] = stats()
     return record, (snapshot, cp)
 
 
@@ -635,6 +650,99 @@ def compare(
     return report
 
 
+# -- speedup gate ----------------------------------------------------------
+def speedup_gate(old: dict, new: dict, min_ratio: float = 1.5) -> dict:
+    """Gate the comm-fastpath wall speedup of ``new`` over ``old``.
+
+    For every ``comm-fastpath`` configuration present in the baseline:
+
+    * the wall-total median must be at least ``min_ratio`` times faster;
+    * the modeled stage seconds and the traffic shape must be *exactly*
+      equal — the fast path may only change how bytes move, never what
+      is sent or what the machine model prices;
+    * the candidate's ``alloc`` record must show a working plan cache:
+      ``fastpath_phases > 0`` and ``pool_grow_events == 0`` (the pooled
+      buffers were sized right once and never reallocated).
+    """
+    validate_bench_doc(old)
+    validate_bench_doc(new)
+    keys = [cfg.key for cfg in SUITES["comm-fastpath"]]
+    old_runs = {r["key"]: r for r in old["runs"]}
+    new_runs = {r["key"]: r for r in new["runs"]}
+    entries = []
+    for key in keys:
+        o, n = old_runs.get(key), new_runs.get(key)
+        if o is None or n is None:
+            entries.append(
+                {"key": key, "ok": False,
+                 "why": "missing from " + ("baseline" if o is None else "candidate")}
+            )
+            continue
+        o_med = o["wall"]["total"]["median"]
+        n_med = n["wall"]["total"]["median"]
+        ratio = o_med / n_med if n_med > 0 else math.inf
+        model_equal = o["model"] == n["model"]
+        traffic_equal = o["traffic"] == n["traffic"]
+        alloc = n.get("alloc", {})
+        plan_ok = (
+            alloc.get("fastpath_phases", 0) > 0
+            and alloc.get("pool_grow_events", 1) == 0
+        )
+        why = []
+        if ratio < min_ratio:
+            why.append(f"speedup {ratio:.2f}x < {min_ratio:g}x")
+        if not model_equal:
+            why.append("modeled stage seconds differ")
+        if not traffic_equal:
+            why.append("traffic shape differs")
+        if not plan_ok:
+            why.append(f"alloc gate failed ({alloc or 'no alloc record'})")
+        entries.append(
+            {
+                "key": key,
+                "wall_old": o_med,
+                "wall_new": n_med,
+                "speedup": ratio,
+                "model_equal": model_equal,
+                "traffic_equal": traffic_equal,
+                "alloc": alloc,
+                "ok": not why,
+                "why": "; ".join(why),
+            }
+        )
+    return {
+        "min_ratio": min_ratio,
+        "entries": entries,
+        "ok": bool(entries) and all(e["ok"] for e in entries),
+    }
+
+
+def render_speedup(gate: dict) -> str:
+    """Text summary of one :func:`speedup_gate` result."""
+    lines = [
+        f"comm-fastpath speedup gate (wall >= {gate['min_ratio']:g}x, "
+        "model/traffic exactly equal, pool never regrown):"
+    ]
+    for e in gate["entries"]:
+        if "speedup" not in e:
+            lines.append(f"  [FAIL] {e['key']}: {e['why']}")
+            continue
+        alloc = e["alloc"]
+        detail = (
+            f"wall {e['wall_old']:.4g}s -> {e['wall_new']:.4g}s "
+            f"({e['speedup']:.2f}x), "
+            f"model {'==' if e['model_equal'] else '!='}, "
+            f"traffic {'==' if e['traffic_equal'] else '!='}, "
+            f"plans {alloc.get('plan_builds', '?')} built / "
+            f"{alloc.get('fastpath_phases', '?')} fast phases / "
+            f"{alloc.get('pool_grow_events', '?')} regrows"
+        )
+        lines.append(f"  [{'OK' if e['ok'] else 'FAIL':>4}] {e['key']}: {detail}")
+        if not e["ok"]:
+            lines.append(f"         -> {e['why']}")
+    return "\n".join(lines)
+
+
 # -- report ---------------------------------------------------------------
 def render_report(doc: dict) -> str:
     """Human-readable rendering of one bench artifact."""
@@ -740,6 +848,15 @@ def build_parser() -> argparse.ArgumentParser:
     rep = sub.add_parser("report", help="render one artifact as text (and CSV)")
     rep.add_argument("artifact")
     rep.add_argument("--csv", default=None, help="also write a per-stage CSV")
+
+    spd = sub.add_parser(
+        "speedup",
+        help="gate the comm-fastpath wall speedup of candidate over baseline",
+    )
+    spd.add_argument("baseline")
+    spd.add_argument("candidate")
+    spd.add_argument("--min", type=float, default=1.5, dest="min_ratio",
+                     help="required wall-median speedup factor (default 1.5)")
     return p
 
 
@@ -792,6 +909,14 @@ def main(argv=None) -> int:
         if args.csv:
             write_report_csv(args.csv, doc)
             print(f"# csv -> {args.csv}")
+        return 0
+    if args.command == "speedup":
+        gate = speedup_gate(_load(args.baseline), _load(args.candidate), args.min_ratio)
+        print(render_speedup(gate))
+        if not gate["ok"]:
+            print("FAIL: comm-fastpath speedup gate not met")
+            return 1
+        print("OK: comm-fastpath speedup gate met")
         return 0
     return 2  # pragma: no cover
 

@@ -58,30 +58,97 @@ class SentMessage:
 
 @dataclass
 class TrafficLog:
-    """Aggregated traffic statistics, queryable per phase and per pair."""
+    """Aggregated traffic statistics, queryable per phase and per pair.
+
+    By default every :class:`SentMessage` is retained (the seed
+    behavior).  Long production runs can instead bound the record list
+    with :meth:`set_window`: the log keeps a rolling window of the most
+    recent messages while *exact* per-phase aggregates (counts, bytes,
+    per-pair bytes, per-source counts) are maintained incrementally, so
+    every query below still answers for the whole run.
+    """
 
     messages: list[SentMessage] = field(default_factory=list)
+    max_messages: int | None = None
+    _phase_count: dict = field(default_factory=dict, repr=False)
+    _phase_bytes: dict = field(default_factory=dict, repr=False)
+    _phase_pair_bytes: dict = field(default_factory=dict, repr=False)
+    _phase_src_count: dict = field(default_factory=dict, repr=False)
+
+    def set_window(self, max_messages: int | None) -> None:
+        """Bound the retained record list to a rolling window.
+
+        Aggregates are (re)built from the currently retained messages;
+        call this before traffic of interest starts (the usual place is
+        simulation setup).  ``None`` restores unbounded retention.
+        """
+        self.max_messages = max_messages
+        self._phase_count.clear()
+        self._phase_bytes.clear()
+        self._phase_pair_bytes.clear()
+        self._phase_src_count.clear()
+        if max_messages is not None:
+            for m in self.messages:
+                self._aggregate(m)
+            self._trim()
+
+    def _aggregate(self, msg: SentMessage) -> None:
+        phase = msg.phase
+        self._phase_count[phase] = self._phase_count.get(phase, 0) + 1
+        self._phase_bytes[phase] = self._phase_bytes.get(phase, 0) + msg.nbytes
+        pair_bytes = self._phase_pair_bytes.setdefault(phase, {})
+        pair = (msg.src, msg.dst)
+        pair_bytes[pair] = pair_bytes.get(pair, 0) + msg.nbytes
+        src_count = self._phase_src_count.setdefault(phase, {})
+        src_count[msg.src] = src_count.get(msg.src, 0) + 1
+
+    def _trim(self) -> None:
+        # Amortized O(1): trim in chunks once the list doubles the window.
+        assert self.max_messages is not None
+        if len(self.messages) > 2 * self.max_messages:
+            del self.messages[: len(self.messages) - self.max_messages]
 
     def record(self, msg: SentMessage) -> None:
         """Append one message record."""
         self.messages.append(msg)
+        if self.max_messages is not None:
+            self._aggregate(msg)
+            self._trim()
 
     def clear(self) -> None:
-        """Drop all records."""
+        """Drop all records (and aggregates)."""
         self.messages.clear()
+        self._phase_count.clear()
+        self._phase_bytes.clear()
+        self._phase_pair_bytes.clear()
+        self._phase_src_count.clear()
 
     # -- queries -----------------------------------------------------------
     def count(self, phase: str | None = None) -> int:
         """Message count, optionally filtered by phase."""
+        if self.max_messages is not None:
+            if phase is None:
+                return sum(self._phase_count.values())
+            return self._phase_count.get(phase, 0)
         return sum(1 for m in self.messages if phase is None or m.phase == phase)
 
     def total_bytes(self, phase: str | None = None) -> int:
         """Byte volume, optionally filtered by phase."""
+        if self.max_messages is not None:
+            if phase is None:
+                return sum(self._phase_bytes.values())
+            return self._phase_bytes.get(phase, 0)
         return sum(m.nbytes for m in self.messages if phase is None or m.phase == phase)
 
     def count_by_rank(self, phase: str | None = None) -> dict[int, int]:
         """Send counts keyed by source rank."""
         out: dict[int, int] = defaultdict(int)
+        if self.max_messages is not None:
+            for ph, src_count in self._phase_src_count.items():
+                if phase is None or ph == phase:
+                    for src, n in src_count.items():
+                        out[src] += n
+            return dict(out)
         for m in self.messages:
             if phase is None or m.phase == phase:
                 out[m.src] += 1
@@ -89,6 +156,12 @@ class TrafficLog:
 
     def pairs(self, phase: str | None = None) -> set[tuple[int, int]]:
         """Distinct (src, dst) pairs that communicated."""
+        if self.max_messages is not None:
+            out: set[tuple[int, int]] = set()
+            for ph, pair_bytes in self._phase_pair_bytes.items():
+                if phase is None or ph == phase:
+                    out.update(pair_bytes)
+            return out
         return {
             (m.src, m.dst)
             for m in self.messages
@@ -105,12 +178,21 @@ class TrafficLog:
         pair_bytes: dict[tuple[int, int], int] = defaultdict(int)
         count = 0
         total = 0
-        for m in self.messages:
-            if phase is not None and m.phase != phase:
-                continue
-            count += 1
-            total += m.nbytes
-            pair_bytes[(m.src, m.dst)] += m.nbytes
+        if self.max_messages is not None:
+            for ph, pb in self._phase_pair_bytes.items():
+                if phase is not None and ph != phase:
+                    continue
+                for pair, nbytes in pb.items():
+                    pair_bytes[pair] += nbytes
+            count = self.count(phase)
+            total = self.total_bytes(phase)
+        else:
+            for m in self.messages:
+                if phase is not None and m.phase != phase:
+                    continue
+                count += 1
+                total += m.nbytes
+                pair_bytes[(m.src, m.dst)] += m.nbytes
         max_pair: tuple[int, int] | None = None
         max_pair_bytes = 0
         if pair_bytes:
@@ -217,6 +299,34 @@ class Transport:
         if METRICS.enabled:
             METRICS.counter("messages_total", phase=self.phase).inc()
             METRICS.histogram("message_size_bytes", buckets=SIZE_BUCKETS).observe(nbytes)
+
+    def send_fast(
+        self, src: int, dst: int, tag: Hashable, payload: Any, nbytes: int
+    ) -> None:
+        """Hot-path send: deposit + traffic record, nothing else.
+
+        Callers (the exchange fast path) guarantee no fault session is
+        active and tracing/metrics are disabled, and pass the payload
+        byte size resolved once at plan-build time — so the rank checks,
+        fault envelopes and per-message observability of :meth:`send`
+        are all skipped.  ``payload`` may be a zero-copy view of a
+        pooled buffer.
+        """
+        self._boxes[(src, dst, tag)].append(payload)
+        self.log.record(SentMessage(src, dst, tag, nbytes, self.phase))
+
+    def recv_fast(self, dst: int, src: int, tag: Hashable) -> Any:
+        """Hot-path receive pairing :meth:`send_fast` (no fault session)."""
+        box = self._boxes.get((src, dst, tag))
+        if not box:
+            raise TransportError(
+                f"rank {dst} has no message from {src} with tag {tag!r} "
+                f"(phase {self.phase!r})"
+            )
+        payload = box.popleft()
+        if type(payload) is _Envelope:  # pragma: no cover - defensive
+            payload = payload.payload
+        return payload
 
     @staticmethod
     def _take(box: deque) -> Any:

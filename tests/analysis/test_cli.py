@@ -32,7 +32,9 @@ class TestAnalyzeCli:
         assert doc["schema"] == SCHEMA
         assert doc["tool"] == "analyze"
         assert doc["findings"] == []
-        assert doc["summary"]["files_analyzed"] == 14
+        from repro.analysis.commlint import DEFAULT_MODULES
+
+        assert doc["summary"]["files_analyzed"] == len(DEFAULT_MODULES)
 
     def test_strict_fails_on_warning_findings(self, tmp_path, capsys, monkeypatch):
         """--strict gates on *any* finding, not only errors."""

@@ -137,6 +137,33 @@ class TestSeededBugs:
         )
         assert lint_source(src) == []
 
+    def test_budgetless_buffer_pool_class_flags_cl008(self):
+        src = (
+            "class BufferPool:\n"
+            "    def vec(self, rows):\n"
+            "        return np.empty((rows * 2, 3))\n"
+        )
+        findings = lint_source(src)
+        assert rules_of(findings) == ["CL008"]
+        assert "GhostBudget" in findings[0].message
+
+    def test_budget_sized_buffer_pool_class_is_clean(self):
+        src = (
+            "class BufferPool:\n"
+            "    def _capacity_for(self, rows):\n"
+            "        return int(self.budget.max_ghost_atoms(self.full_shell))\n"
+        )
+        assert lint_source(src) == []
+
+    def test_literal_pool_budget_flags_cl008(self):
+        src = "pool = BufferPool(4096)\n"
+        findings = lint_source(src)
+        assert rules_of(findings) == ["CL008"]
+
+    def test_pool_with_budget_object_is_clean(self):
+        src = "pool = BufferPool(self._plan_budget(), full_shell=False)\n"
+        assert lint_source(src) == []
+
 
 class TestSuppressions:
     def test_same_line_disable_hides_the_finding(self):
@@ -209,7 +236,7 @@ class TestCleanTree:
 
 class TestReportSchema:
     def test_every_rule_has_a_catalog_entry(self):
-        assert sorted(RULES) == [f"CL{n:03d}" for n in range(1, 8)]
+        assert sorted(RULES) == [f"CL{n:03d}" for n in range(1, 9)]
 
     def test_json_document_shape(self):
         report = AnalysisReport(tool="commlint")

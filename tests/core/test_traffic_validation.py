@@ -98,6 +98,9 @@ class TestFailureInjection:
         p_good = sim.sample_thermo().pressure
         route = sim.exchange.routes[0].sends[0]
         route.shift[:] += 0.5  # sabotage one route's shift
+        # The exchange snapshots routes into its comm plan at borders
+        # time; a route mutated behind its back needs a plan rebuild.
+        sim.exchange._invalidate_plans()
         sim.exchange.forward()  # replays routes -> ghosts move wrongly
         sim._compute_forces()
         p_bad = sim.sample_thermo().pressure
@@ -111,5 +114,6 @@ class TestFailureInjection:
         route = sim.exchange.routes[0].sends[0]
         if route.send_idx.size > 1:
             route.send_idx = route.send_idx[:-1]
+            sim.exchange._invalidate_plans()
             with pytest.raises(Exception):
                 sim.exchange.forward()
