@@ -75,6 +75,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect and print counters/histograms (message sizes, hops, "
         "RDMA registrations, TNI busy time, ...)",
     )
+    p.add_argument(
+        "--no-telemetry", dest="telemetry", action="store_false", default=True,
+        help="disable the always-on telemetry plane (counters, percentile "
+        "sketches, flight recorder); on by default and fastpath-compatible",
+    )
+    p.add_argument(
+        "--flightrec", metavar="PATH", default=None,
+        help="write the flight-recorder ring to PATH; also auto-dumps there "
+        "on retry exhaustion, degradation, or selfcheck failure",
+    )
+    p.add_argument(
+        "--openmetrics", metavar="PATH", default=None,
+        help="write telemetry counters/gauges/percentiles to PATH in "
+        "OpenMetrics text format after the run",
+    )
     return p
 
 
@@ -97,6 +112,143 @@ def build_simulation(args) -> Simulation:
     return Simulation(x, v, box, preset.potential(), cfg, grid=grid)
 
 
+def build_telemetry_parser() -> argparse.ArgumentParser:
+    """Parser for ``python -m repro telemetry``."""
+    p = argparse.ArgumentParser(
+        prog="python -m repro telemetry",
+        description="Run a workload and export its always-on telemetry: a "
+        "JSON snapshot, a repro-flightrec/1 flight-recorder dump, or an "
+        "OpenMetrics textfile (node-exporter textfile-collector style).",
+    )
+    p.add_argument(
+        "action", nargs="?", default="snapshot",
+        choices=("snapshot", "dump", "serve-textfile"),
+        help="snapshot: counters/gauges/sketches as JSON; dump: flight-"
+        "recorder ring as repro-flightrec/1; serve-textfile: periodically "
+        "rewritten OpenMetrics text file",
+    )
+    p.add_argument(
+        "--dump", dest="dump_flag", action="store_true",
+        help="alias for the 'dump' action",
+    )
+    p.add_argument(
+        "--output", "-o", default=None,
+        help="output path (default: stdout for snapshot, telemetry-flight"
+        ".json for dump, telemetry.prom for serve-textfile)",
+    )
+    p.add_argument(
+        "--interval", type=int, default=20,
+        help="serve-textfile: rewrite the textfile every N steps",
+    )
+    p.add_argument("--potential", choices=("lj", "eam"), default="lj")
+    p.add_argument("--atoms", type=int, default=2048)
+    p.add_argument("--steps", type=int, default=50)
+    p.add_argument(
+        "--ranks", type=int, nargs=3, metavar=("PX", "PY", "PZ"), default=None
+    )
+    p.add_argument("--nranks", type=int, default=8)
+    p.add_argument(
+        "--pattern", choices=("3stage", "p2p", "parallel-p2p"), default="parallel-p2p"
+    )
+    p.add_argument("--rdma", action="store_true")
+    p.add_argument("--model-time", dest="model_time", action="store_true")
+    p.add_argument("--faults", metavar="PLAN.json", default=None)
+    p.set_defaults(newton=True, temperature=None, seed=12345, thermo=0)
+    return p
+
+
+def _write_textfile(path: str, text: str) -> None:
+    # Atomic rewrite: scrapers of the textfile collector never see a
+    # partially written exposition.
+    import os
+
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    os.replace(tmp, path)
+
+
+def telemetry_main(argv) -> int:
+    """``python -m repro telemetry`` entry point."""
+    import json
+
+    from repro.obs.telemetry import TELEMETRY
+
+    args = build_telemetry_parser().parse_args(argv)
+    action = "dump" if args.dump_flag else args.action
+    output = args.output
+    if output is None and action != "snapshot":
+        output = "telemetry-flight.json" if action == "dump" else "telemetry.prom"
+
+    fault_plan = None
+    if args.faults is not None:
+        from repro.faults import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.load(args.faults)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load fault plan {args.faults!r}: {exc}")
+            return 2
+    # A terminal fault mid-run is exactly when the flight dump matters:
+    # arm the auto-dump before the run so the ring is captured at the
+    # moment of death, not after.
+    prev_autodump = TELEMETRY.autodump_path
+    if action == "dump":
+        TELEMETRY.autodump_path = output
+    sim = build_simulation(args)
+    telem = sim.telemetry
+    if telem is None:
+        print("error: telemetry plane is disabled")
+        return 2
+    survived = True
+    try:
+        from repro.faults import FAULTS
+        from repro.faults.injector import FaultError
+
+        def drive() -> None:
+            sim.setup()
+            if action == "serve-textfile":
+                done = 0
+                while done < args.steps:
+                    chunk = min(args.interval, args.steps - done)
+                    sim.run(chunk)
+                    done += chunk
+                    _write_textfile(output, telem.render_openmetrics())
+            else:
+                sim.run(args.steps)
+
+        try:
+            if fault_plan is not None:
+                with FAULTS.inject(fault_plan):
+                    drive()
+            else:
+                drive()
+        except FaultError as exc:
+            survived = False
+            print(f"# run did not survive the fault plan: {exc}")
+    finally:
+        TELEMETRY.autodump_path = prev_autodump
+
+    if action == "snapshot":
+        text = json.dumps(telem.snapshot(), indent=2, sort_keys=True)
+        if output is None:
+            print(text)
+        else:
+            with open(output, "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+            print(f"# telemetry snapshot -> {output}")
+    elif action == "dump":
+        if survived:
+            telem.flight.write(output, reason="on-demand")
+        frames = len(telem.flight.frames)
+        events = len(telem.flight.events)
+        print(f"# flight recorder: {frames} frames, {events} events -> {output}")
+    else:
+        _write_textfile(output, telem.render_openmetrics())
+        print(f"# openmetrics textfile -> {output}")
+    return 0 if survived else 1
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     import sys
@@ -106,7 +258,20 @@ def main(argv=None) -> int:
         from repro.analysis.cli import main as analyze_main
 
         return analyze_main(argv[1:])
+    if argv[:1] == ["telemetry"]:
+        return telemetry_main(argv[1:])
     args = build_parser().parse_args(argv)
+    from repro.obs.telemetry import TELEMETRY
+
+    TELEMETRY.enabled = args.telemetry
+    if args.flightrec is not None:
+        try:
+            with open(args.flightrec, "w", encoding="utf-8"):
+                pass
+        except OSError as exc:
+            print(f"error: cannot write flight recorder {args.flightrec!r}: {exc}")
+            return 2
+        TELEMETRY.autodump_path = args.flightrec
     if args.trace is not None:
         from repro.obs.trace import TRACER
 
@@ -154,6 +319,9 @@ def main(argv=None) -> int:
             METRICS.enabled = False
         if not report.ok:
             failing = [c.name for c in report.checks if not c.passed]
+            # Routed to the last attached run's flight recorder; with
+            # --flightrec this auto-dumps the ring at the failure.
+            TELEMETRY.emit("selfcheck-failure", failing=", ".join(failing))
             print(f"# selfcheck FAILED: {', '.join(failing)}")
             return 1
         return 0
@@ -237,6 +405,13 @@ def main(argv=None) -> int:
         print()
         print(METRICS.render())
         METRICS.enabled = False
+    if sim.telemetry is not None:
+        if args.flightrec is not None:
+            doc = sim.telemetry.flight.write(args.flightrec, reason="end-of-run")
+            print(f"# flight recorder: {len(doc['frames'])} frames -> {args.flightrec}")
+        if args.openmetrics is not None:
+            _write_textfile(args.openmetrics, sim.telemetry.render_openmetrics())
+            print(f"# openmetrics textfile -> {args.openmetrics}")
     return 0
 
 

@@ -61,6 +61,11 @@ class BufferPool:
         self._vec: np.ndarray | None = None
         self._scalar: np.ndarray | None = None
 
+    @property
+    def capacity_rows(self) -> int:
+        """Rows the vector buffer currently holds (0 before first use)."""
+        return self._vec.shape[0] if self._vec is not None else 0
+
     def _capacity_for(self, rows: int) -> int:
         if self.budget is not None:
             analytic = int(self.budget.max_ghost_atoms(self.full_shell))

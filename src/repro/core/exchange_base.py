@@ -30,6 +30,7 @@ from repro.faults.injector import FAULTS, RetryExhaustedError
 from repro.md.atoms import Atoms
 from repro.md.domain import Domain
 from repro.obs.metrics import METRICS
+from repro.obs.telemetry import TELEMETRY
 from repro.obs.trace import NULL_SPAN, TRACER
 from repro.runtime.transport import SentMessage
 from repro.runtime.world import RankContext, World
@@ -120,6 +121,9 @@ class GhostExchange:
         self._model_cache: dict = {}
         self._plan_builds = 0
         self._fastpath_phases = 0
+        # Phases the _fastpath_ok gate sent down the slow path, by cause
+        # (telemetry feed; the always-on plane itself never gates).
+        self._gate_blocks = {"observability": 0, "faults": 0}
         # Direct-delivery wiring (built with the plans): every send
         # segment resolved to its destination slice, so a replayed phase
         # is pure slice copies with no per-message mailbox traffic.
@@ -279,10 +283,43 @@ class GhostExchange:
         return {
             "plan_builds": self._plan_builds,
             "fastpath_phases": self._fastpath_phases,
+            "slowpath_phases": sum(self._gate_blocks.values()),
             "pool_allocations": sum(p.allocations for p in pools),
             "pool_grow_events": sum(p.grow_events for p in pools),
             "pool_bytes": sum(p.nbytes for p in pools),
         }
+
+    def telemetry_feed(self) -> tuple[dict[str, float], dict[str, float]]:
+        """(cumulative counters, gauges) for the per-step telemetry flush.
+
+        Counter-shaped on purpose: everything here is bookkeeping the
+        hot path already maintains (plan cache, pools, retry layer), so
+        reading it once per step costs O(ranks) and the fast path stays
+        untouched.  Subclasses extend with their plane-specific feeds
+        (RDMA re-registrations, ring cursors).
+        """
+        stats = self.plan_stats()
+        counters: dict[str, float] = {
+            "plan_builds": float(stats["plan_builds"]),
+            "fastpath_phases": float(stats["fastpath_phases"]),
+            "slowpath_phases": float(stats["slowpath_phases"]),
+            "pool_allocations": float(stats["pool_allocations"]),
+            "pool_grow_events": float(stats["pool_grow_events"]),
+            "retries": float(self.retries),
+            "retry_model_seconds": self.retry_model_time,
+        }
+        gauges: dict[str, float] = {
+            "pool_bytes": float(stats["pool_bytes"]),
+            "pool_rows_used": float(
+                sum(p.n_pack for p in self._plans.values())
+                if self._plans_built_epoch == self._plan_epoch
+                else 0
+            ),
+            "pool_rows_capacity": float(
+                sum(pool.capacity_rows for pool in self._pools.values())
+            ),
+        }
+        return counters, gauges
 
     # -- generic forward/reverse -------------------------------------------------
     def forward(self) -> None:
@@ -352,6 +389,11 @@ class GhostExchange:
                 if payload is not None:
                     return payload
                 timeout *= policy.backoff
+        TELEMETRY.emit(
+            "retry-exhausted",
+            rank=rank, peer=peer, phase=transport.phase, pattern=self.name,
+            attempts=policy.max_retries,
+        )
         raise RetryExhaustedError(
             f"rank {rank} gave up on {peer} tag {tag!r} after "
             f"{policy.max_retries} retries (phase {transport.phase!r}, "
@@ -361,22 +403,30 @@ class GhostExchange:
     def _fastpath_ok(self) -> bool:
         """Whether the pooled zero-copy replay may run.
 
-        An armed fault plane or enabled observability takes the slow
-        path, which produces bit-identical data through the full
-        bookkeeping.  A session with neither message nor RDMA faults
-        armed cannot touch the data plane (network-kind faults only
-        price modeled time, which is simulated separately), so the fast
-        path stays on — the faults-off guard measures this idle cost.
+        An armed fault plane or a **heavyweight** observability session
+        (the per-event tracer or the per-message metrics registry) takes
+        the slow path, which produces bit-identical data through the
+        full bookkeeping.  A session with neither message nor RDMA
+        faults armed cannot touch the data plane (network-kind faults
+        only price modeled time, which is simulated separately), so the
+        fast path stays on — the faults-off guard measures this idle
+        cost.
+
+        The always-on telemetry plane (:data:`~repro.obs.telemetry
+        .TELEMETRY`) is deliberately **not** consulted: it is fed from
+        the counters this class already maintains, once per step, so
+        live percentiles and the flight recorder coexist with the full
+        speedup (the ``telemetry-overhead`` bench guard enforces <5%
+        wall).  Gate refusals are counted per cause for that same feed.
         """
         session = FAULTS.session
-        return (
-            (
-                session is None
-                or not (session.message_faults or session.rdma_faults)
-            )
-            and not TRACER.enabled
-            and not METRICS.enabled
-        )
+        if session is not None and (session.message_faults or session.rdma_faults):
+            self._gate_blocks["faults"] += 1
+            return False
+        if TRACER.enabled or METRICS.enabled:
+            self._gate_blocks["observability"] += 1
+            return False
+        return True
 
     # Subclasses may override for staged execution or RDMA data planes.
     def _forward_array(

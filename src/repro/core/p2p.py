@@ -99,6 +99,12 @@ class P2PExchange(GhostExchange):
         self._budget: GhostBudget | None = None
         self.reregistrations = 0
 
+    def telemetry_feed(self) -> tuple[dict[str, float], dict[str, float]]:
+        """Base feed plus the RDMA re-registration count."""
+        counters, gauges = super().telemetry_feed()
+        counters["rdma_reregistrations"] = float(self.reregistrations)
+        return counters, gauges
+
     # -- neighbor arithmetic ---------------------------------------------------
     def peer_for(self, rank: int, offset: tuple[int, int, int]) -> int:
         """Rank at grid ``offset`` from ``rank`` (periodic)."""

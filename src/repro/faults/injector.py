@@ -43,6 +43,7 @@ from repro.faults.plan import (
     RetryPolicy,
 )
 from repro.obs.metrics import METRICS
+from repro.obs.telemetry import TELEMETRY
 from repro.obs.trace import TRACER
 
 
@@ -174,6 +175,7 @@ class FaultSession:
 
     def _note_injected(self, kind: str, **args: int | str) -> None:
         self.stats.injected[kind] = self.stats.injected.get(kind, 0) + 1
+        TELEMETRY.emit("fault-injected", fault=kind, **args)
         if METRICS.enabled:
             METRICS.counter("faults_injected_total", kind=kind).inc()
         if TRACER.enabled:
@@ -256,6 +258,7 @@ class FaultSession:
     def note_retry(self, phase: str) -> None:
         """Count one receiver retry poll (metric keyed by phase)."""
         self.stats.retries += 1
+        TELEMETRY.emit("retry", phase=phase)
         if METRICS.enabled:
             METRICS.counter("fault_retries_total", phase=phase).inc()
 
@@ -347,6 +350,12 @@ class FaultSession:
         self.stats.degraded_casualties += casualties
         self._limbo.clear()
         self._deferred.clear()
+        TELEMETRY.emit(
+            "degradation",
+            from_pattern=from_pattern,
+            to_pattern=to_pattern,
+            casualties=casualties,
+        )
         if METRICS.enabled:
             METRICS.counter(
                 "fault_degradations_total", to=to_pattern

@@ -42,6 +42,7 @@ from repro.md.potentials.base import PairPotential
 from repro.md.region import Box
 from repro.md.stages import Stage, StageTimers
 from repro.md.thermo import Thermo, ThermoSample
+from repro.obs.telemetry import TELEMETRY, StepTelemetry
 from repro.obs.trace import TRACER
 from repro.runtime.collectives import allreduce
 from repro.runtime.world import World
@@ -140,6 +141,14 @@ class Simulation:
         self.fixes = list(fixes) if fixes else []
         self.thermo = Thermo(box.volume, config.mass)
         self.timers = StageTimers()
+        # Always-on telemetry plane (counters/sketches/flight ring) —
+        # per-run state so back-to-back simulations never pollute each
+        # other's percentiles.  Attaching makes this run the sink for
+        # global event sources (the fault injector).
+        self.telemetry: StepTelemetry | None = None
+        if TELEMETRY.enabled:
+            self.telemetry = StepTelemetry()
+            TELEMETRY.attach(self.telemetry)
         self.step_count = 0
         self.rebuilds = 0
         self.samples: list[ThermoSample] = []
@@ -413,6 +422,12 @@ class Simulation:
         if self.config.thermo_every and self.step_count % self.config.thermo_every == 0:
             with self.timers.timing(Stage.OTHER):
                 self.samples.append(self.sample_thermo())
+
+        # Telemetry flush stays outside the stage timers so the per-stage
+        # sketch sums telescope exactly to the StageTimers totals (the
+        # selfcheck battery pins that identity).
+        if self.telemetry is not None:
+            self.telemetry.flush_step(self)
 
         if self.config.clear_traffic_each_step:
             self.world.transport.log.clear()

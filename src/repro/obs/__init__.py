@@ -21,6 +21,13 @@ One observability layer under every account the repository keeps:
   model breakdowns, traffic, critical paths, and the Table 1/3 +
   Fig. 13 model outputs into versioned ``BENCH_*.json`` artifacts with
   regression gating (see docs/benchmarking.md).
+* :mod:`repro.obs.telemetry` / :mod:`repro.obs.sketch` /
+  :mod:`repro.obs.flight` — the third, **always-on** tier: batched
+  counters/gauges fed from fast-path bookkeeping, mergeable quantile
+  sketches (p50/p95/p99 without samples), a bounded flight-recorder
+  ring dumped on terminal failures, and an OpenMetrics exporter
+  (``python -m repro telemetry``).  Unlike the tracer and the metrics
+  registry, telemetry never disables the exchange fast path.
 
 Typical use::
 
@@ -40,7 +47,10 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
+from repro.obs.flight import FlightRecorder, load_flight_doc, validate_flight_doc
 from repro.obs.metrics import METRICS, MetricsRegistry, collecting, get_metrics
+from repro.obs.sketch import QuantileSketch
+from repro.obs.telemetry import TELEMETRY, StepTelemetry, get_telemetry
 from repro.obs.trace import TRACER, Tracer, get_tracer, tracing
 
 
@@ -69,10 +79,17 @@ def observe(trace: bool = True, metrics: bool = True, fresh: bool = True):
 __all__ = [
     "TRACER",
     "METRICS",
+    "TELEMETRY",
     "Tracer",
     "MetricsRegistry",
+    "StepTelemetry",
+    "QuantileSketch",
+    "FlightRecorder",
     "get_tracer",
     "get_metrics",
+    "get_telemetry",
+    "load_flight_doc",
+    "validate_flight_doc",
     "tracing",
     "collecting",
     "observe",

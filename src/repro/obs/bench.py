@@ -98,7 +98,10 @@ class BenchConfig:
 #: disabled fault-injection layer is free (:func:`fault_overhead_guard`);
 #: ``comm-fastpath`` is the exchange-dominated set the plan-cache /
 #: flat-buffer fast path must speed up (gated by the ``speedup``
-#: subcommand); ``ci`` is smoke + comm-fastpath in one artifact.
+#: subcommand); ``telemetry-overhead`` reruns those configs and proves
+#: the always-on telemetry plane costs <5% wall with the fast path still
+#: active (:func:`telemetry_overhead_guard`); ``ci`` is smoke +
+#: comm-fastpath in one artifact.
 SUITES: dict[str, tuple[BenchConfig, ...]] = {
     "smoke": (
         BenchConfig("lj", "3stage", (2, 2, 2), rdma=False),
@@ -126,6 +129,7 @@ SUITES: dict[str, tuple[BenchConfig, ...]] = {
     ),
 }
 SUITES["ci"] = SUITES["smoke"] + SUITES["comm-fastpath"]
+SUITES["telemetry-overhead"] = SUITES["comm-fastpath"]
 
 
 def build_simulation(cfg: BenchConfig):
@@ -335,6 +339,115 @@ def render_fault_guard(guard: dict) -> str:
     return "\n".join(lines)
 
 
+#: Relative wall-clock overhead the *enabled* telemetry plane may add.
+TELEMETRY_OVERHEAD_LIMIT = 0.05
+
+
+def telemetry_overhead_guard(repeats: int = 5) -> dict:
+    """Prove the always-on telemetry plane is nearly free on the hot path.
+
+    Runs every ``comm-fastpath`` configuration twice per repeat —
+    telemetry on (the default) and inside
+    :meth:`~repro.obs.telemetry.TelemetryControl.disabled` — interleaved
+    so machine drift hits both arms equally, and checks per
+    configuration:
+
+    * the exchange fast path stays active in **both** arms
+      (``fastpath_phases > 0``): telemetry must never trip
+      ``_fastpath_ok``;
+    * the modeled stage seconds and the traffic shape are exactly
+      equal: counters observe the run, they do not change it;
+    * the wall overhead stays under :data:`TELEMETRY_OVERHEAD_LIMIT`,
+      estimated with the same noise-robust min-ratio lower bound as
+      :func:`fault_overhead_guard` (escalating samples before
+      concluding).
+    """
+    from repro.md.stages import Stage
+    from repro.obs.telemetry import TELEMETRY
+
+    entries = []
+    for cfg in SUITES["telemetry-overhead"]:
+        off_wall: list[float] = []
+        on_wall: list[float] = []
+        off_model = on_model = None
+        off_traffic = on_traffic = None
+        off_fastpath = on_fastpath = 0
+
+        def sample_pair() -> None:
+            nonlocal off_model, on_model, off_traffic, on_traffic
+            nonlocal off_fastpath, on_fastpath
+            with TELEMETRY.disabled():
+                sim = build_simulation(cfg)
+                sim.run(cfg.steps)
+            off_wall.append(sim.timers.total_wall())
+            off_model = {s.value: sim.timers.model[s] for s in Stage}
+            off_traffic = _traffic_shape(sim)
+            off_fastpath = sim.exchange.plan_stats()["fastpath_phases"]
+
+            sim = build_simulation(cfg)
+            sim.run(cfg.steps)
+            on_wall.append(sim.timers.total_wall())
+            on_model = {s.value: sim.timers.model[s] for s in Stage}
+            on_traffic = _traffic_shape(sim)
+            on_fastpath = sim.exchange.plan_stats()["fastpath_phases"]
+
+        def overhead_now() -> float:
+            if min(off_wall) <= 0:
+                return 0.0
+            global_ratio = min(on_wall) / min(off_wall)
+            pair_ratio = min(on / off for on, off in zip(on_wall, off_wall))
+            return min(global_ratio, pair_ratio) - 1.0
+
+        for _ in range(max(repeats, 1)):
+            sample_pair()
+        while (
+            overhead_now() >= TELEMETRY_OVERHEAD_LIMIT
+            and len(off_wall) < 4 * max(repeats, 1)
+        ):
+            sample_pair()
+        overhead = overhead_now()
+        entry = {
+            "key": cfg.key,
+            "model_equal": off_model == on_model,
+            "traffic_equal": off_traffic == on_traffic,
+            "fastpath_off": off_fastpath,
+            "fastpath_on": on_fastpath,
+            "wall_off_min": min(off_wall),
+            "wall_on_min": min(on_wall),
+            "overhead": overhead,
+            "samples": len(off_wall),
+            "ok": off_model == on_model
+            and off_traffic == on_traffic
+            and off_fastpath > 0
+            and on_fastpath > 0
+            and overhead < TELEMETRY_OVERHEAD_LIMIT,
+        }
+        entries.append(entry)
+    return {
+        "limit": TELEMETRY_OVERHEAD_LIMIT,
+        "entries": entries,
+        "ok": all(e["ok"] for e in entries),
+    }
+
+
+def render_telemetry_guard(guard: dict) -> str:
+    """Text summary of one :func:`telemetry_overhead_guard` result."""
+    lines = [
+        f"telemetry overhead guard (limit {100 * guard['limit']:g}% wall, "
+        "fast path active in both arms, model/traffic must match exactly):"
+    ]
+    for e in guard["entries"]:
+        lines.append(
+            f"  [{'OK' if e['ok'] else 'FAIL':>4}] {e['key']}: "
+            f"fastpath {e['fastpath_off']}/{e['fastpath_on']} phases (off/on), "
+            f"model {'==' if e['model_equal'] else '!='}, "
+            f"traffic {'==' if e['traffic_equal'] else '!='}, "
+            f"wall {e['wall_off_min']:.4g}s -> {e['wall_on_min']:.4g}s "
+            f"({100 * e['overhead']:+.2f}%)"
+        )
+    return "\n".join(lines)
+
+
 def model_tables() -> dict:
     """The Table 1 / Table 3 / Fig. 13-headline model outputs."""
     from repro.figures import fig13, table1
@@ -397,6 +510,10 @@ def run_suite(
                 tracer,
                 extra_events=critpath_counter_events(cp),
             )
+    from repro.obs.metrics import METRICS
+    from repro.obs.telemetry import TELEMETRY
+    from repro.obs.trace import TRACER
+
     doc = {
         "schema": SCHEMA,
         "label": label,
@@ -407,12 +524,24 @@ def run_suite(
             "platform": platform.platform(),
             "repeats": repeats,
             "unix_time": time.time(),
+            # Wall numbers measured under different observability regimes
+            # are not comparable; ``compare`` refuses mismatched artifacts.
+            "observability": {
+                "tracer": TRACER.enabled,
+                "metrics": METRICS.enabled,
+                "telemetry": TELEMETRY.enabled,
+                "fastpath_phases": sum(
+                    r.get("alloc", {}).get("fastpath_phases", 0) for r in runs
+                ),
+            },
         },
         "runs": runs,
         "model_tables": model_tables(),
     }
     if suite == "faults-off":
         doc["fault_guard"] = fault_overhead_guard(repeats)
+    if suite == "telemetry-overhead":
+        doc["telemetry_guard"] = telemetry_overhead_guard(repeats)
     validate_bench_doc(doc)
     return doc
 
@@ -487,14 +616,25 @@ def validate_bench_doc(doc: dict) -> int:
     _require(isinstance(tables, dict), "$.model_tables", "missing")
     for name in ("table1", "table3", "fig13"):
         _require(name in tables, f"$.model_tables.{name}", "missing")
-    guard = doc.get("fault_guard")
-    if guard is not None:
-        _require(isinstance(guard, dict), "$.fault_guard", "not an object")
-        _require(isinstance(guard.get("ok"), bool), "$.fault_guard.ok", "missing bool")
-        _require(
-            isinstance(guard.get("entries"), list) and guard["entries"],
-            "$.fault_guard.entries", "missing non-empty entries",
-        )
+    for guard_key in ("fault_guard", "telemetry_guard"):
+        guard = doc.get(guard_key)
+        if guard is not None:
+            _require(isinstance(guard, dict), f"$.{guard_key}", "not an object")
+            _require(
+                isinstance(guard.get("ok"), bool), f"$.{guard_key}.ok", "missing bool"
+            )
+            _require(
+                isinstance(guard.get("entries"), list) and guard["entries"],
+                f"$.{guard_key}.entries", "missing non-empty entries",
+            )
+    obs = doc["meta"].get("observability")
+    if obs is not None:
+        _require(isinstance(obs, dict), "$.meta.observability", "not an object")
+        for k in ("tracer", "metrics", "telemetry"):
+            _require(
+                isinstance(obs.get(k), bool),
+                f"$.meta.observability.{k}", f"invalid {obs.get(k)!r}",
+            )
     return len(runs)
 
 
@@ -584,9 +724,29 @@ def compare(
     tolerances: dict | None = None,
     gate_wall: bool = False,
 ) -> CompareReport:
-    """Diff two artifacts; regressions beyond tolerance fail the gate."""
+    """Diff two artifacts; regressions beyond tolerance fail the gate.
+
+    Refuses (``ValueError``) when both artifacts declare their
+    observability regime and the regimes differ — wall numbers measured
+    with telemetry/tracing on are not comparable against a baseline
+    measured with them off.  Artifacts predating the observability
+    metadata compare as before.
+    """
     validate_bench_doc(old)
     validate_bench_doc(new)
+    old_obs = old.get("meta", {}).get("observability")
+    new_obs = new.get("meta", {}).get("observability")
+    if old_obs is not None and new_obs is not None:
+        flags = ("tracer", "metrics", "telemetry")
+        mismatch = [k for k in flags if old_obs.get(k) != new_obs.get(k)]
+        if mismatch:
+            detail = ", ".join(
+                f"{k}: {old_obs.get(k)} vs {new_obs.get(k)}" for k in mismatch
+            )
+            raise ValueError(
+                f"refusing to compare artifacts with different observability "
+                f"regimes ({detail}); re-run the baseline under the same flags"
+            )
     tol = dict(DEFAULT_TOLERANCES)
     if tolerances:
         tol.update(tolerances)
@@ -881,6 +1041,13 @@ def main(argv=None) -> int:
             if not guard["ok"]:
                 print("FAIL: disabled fault layer is not free")
                 return 1
+        guard = doc.get("telemetry_guard")
+        if guard is not None:
+            print()
+            print(render_telemetry_guard(guard))
+            if not guard["ok"]:
+                print("FAIL: telemetry plane is not cheap enough")
+                return 1
         return 0
     if args.command == "compare":
         overrides = {}
@@ -890,10 +1057,14 @@ def main(argv=None) -> int:
                 print(f"error: bad --tol {spec!r}")
                 return 2
             overrides[group] = float(value)
-        report = compare(
-            _load(args.baseline), _load(args.candidate),
-            tolerances=overrides, gate_wall=args.gate_wall,
-        )
+        try:
+            report = compare(
+                _load(args.baseline), _load(args.candidate),
+                tolerances=overrides, gate_wall=args.gate_wall,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}")
+            return 2
         print(report.render(verbose=args.verbose))
         if not report.ok:
             if args.warn_only:

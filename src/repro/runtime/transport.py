@@ -70,6 +70,11 @@ class TrafficLog:
 
     messages: list[SentMessage] = field(default_factory=list)
     max_messages: int | None = None
+    #: Monotonic run-lifetime totals: unlike the aggregates below they
+    #: survive :meth:`clear` (per-step clearing), so the telemetry plane
+    #: can delta them once per step without retaining records.
+    grand_total_count: int = 0
+    grand_total_bytes: int = 0
     _phase_count: dict = field(default_factory=dict, repr=False)
     _phase_bytes: dict = field(default_factory=dict, repr=False)
     _phase_pair_bytes: dict = field(default_factory=dict, repr=False)
@@ -111,6 +116,8 @@ class TrafficLog:
     def record(self, msg: SentMessage) -> None:
         """Append one message record."""
         self.messages.append(msg)
+        self.grand_total_count += 1
+        self.grand_total_bytes += msg.nbytes
         if self.max_messages is not None:
             self._aggregate(msg)
             self._trim()

@@ -160,6 +160,7 @@ def run_selfcheck(
     _observability_checks(report, x, v, box, steps=max(steps // 2, 5))
     _critpath_checks(report, x, v, box)
     _analysis_checks(report, x, v, box)
+    _telemetry_checks(report, x, v, box, steps=max(steps // 2, 5))
     if fault_plan is not None:
         _fault_checks(report, x, v, box, fault_plan)
     return report
@@ -382,6 +383,188 @@ def _analysis_checks(
         any(f.rule == "HB001" for f in hazards.findings),
         f"rules {sorted(hazards.by_rule())}",
     )
+
+
+def _telemetry_checks(
+    report: SelfCheckReport,
+    x: np.ndarray,
+    v: np.ndarray,
+    box,
+    steps: int = 10,
+) -> None:
+    """The always-on telemetry plane against its three ground truths.
+
+    * enabling telemetry must **not** push the exchange off the fast
+      path (the whole point of the third tier), and its counters must
+      equal the exchange/transport bookkeeping they are fed from;
+    * the per-stage quantile sketches must reproduce ``StageTimers``:
+      sketch sums telescope to the timer totals, sketch means match the
+      per-step means derived from ``breakdown()``, and every sketch
+      quantile is within the sketch's relative-accuracy bound of the
+      true rank quantile of independently recorded per-step deltas;
+    * a forced ``RetryExhaustedError`` must auto-dump a **valid**
+      ``repro-flightrec/1`` document carrying the pre-failure step
+      frames and the fault/retry/exhaustion event trail.
+    """
+    import math
+    import os
+    import tempfile
+    from contextlib import contextmanager
+
+    from repro.faults.injector import FAULTS, FaultError
+    from repro.faults.plan import FaultPlan, FaultSpec, RetryPolicy
+    from repro.md.stages import Stage
+    from repro.obs.flight import SCHEMA, load_flight_doc
+    from repro.obs.metrics import METRICS
+    from repro.obs.telemetry import TELEMETRY
+    from repro.obs.trace import TRACER
+
+    def true_quantile(samples: list[float], q: float) -> float:
+        ordered = sorted(samples)
+        return ordered[max(1, math.ceil(q * len(ordered))) - 1]
+
+    @contextmanager
+    def quiet_observability():
+        # This battery asserts the fast path survives telemetry *alone*;
+        # a CLI --trace/--metrics session (which legitimately blocks the
+        # fast path) must not leak in.
+        prev_trace, prev_metrics = TRACER.enabled, METRICS.enabled
+        TRACER.enabled = False
+        METRICS.enabled = False
+        try:
+            with TELEMETRY.scope():
+                yield
+        finally:
+            TRACER.enabled = prev_trace
+            METRICS.enabled = prev_metrics
+
+    with quiet_observability():
+        cfg = SimulationConfig(
+            dt=0.005, skin=0.3, pattern="p2p", rdma=True,
+            neighbor_every=5, model_machine_time=True,
+        )
+        sim = Simulation(x, v, box, LennardJones(cutoff=2.5), cfg, grid=(2, 2, 2))
+        telem = sim.telemetry
+        sim.setup()
+        # Record per-stage deltas independently, sampling the same
+        # cumulative timers the flush folds (identical float sequence).
+        wall_samples = {s: [] for s in Stage}
+        model_samples = {s: [] for s in Stage}
+        prev_wall = {s: 0.0 for s in Stage}
+        prev_model = {s: 0.0 for s in Stage}
+        for _ in range(steps):
+            sim.step()
+            for s in Stage:
+                wall_samples[s].append(sim.timers.wall[s] - prev_wall[s])
+                model_samples[s].append(sim.timers.model[s] - prev_model[s])
+                prev_wall[s] = sim.timers.wall[s]
+                prev_model[s] = sim.timers.model[s]
+
+        stats = sim.exchange.plan_stats()
+        report.add(
+            "telemetry leaves the exchange fast path on",
+            telem is not None
+            and stats["fastpath_phases"] > 0
+            and sim.exchange._gate_blocks["observability"] == 0,
+            f"{stats['fastpath_phases']} fastpath phases, "
+            f"{sim.exchange._gate_blocks['observability']} observability blocks",
+        )
+
+        log = sim.world.transport.log
+        counters_agree = (
+            telem.counter_value("fastpath_phases_total") == stats["fastpath_phases"]
+            and telem.counter_value("plan_builds_total") == stats["plan_builds"]
+            and telem.counter_value("messages_total") == log.grand_total_count
+            and telem.counter_value("message_bytes_total") == log.grand_total_bytes
+            and telem.counter_value("steps_total") == steps
+        )
+        report.add(
+            "telemetry counters equal exchange/transport bookkeeping",
+            counters_agree,
+            f"{telem.counter_value('messages_total'):.0f} messages, "
+            f"{telem.counter_value('fastpath_phases_total'):.0f} fastpath phases",
+        )
+
+        sum_err = 0.0
+        mean_err = 0.0
+        q_ok = True
+        wall_means = {
+            name: t / steps for name, (t, _) in sim.timers.breakdown("wall").items()
+        }
+        for s in Stage:
+            sk = telem.sketch("stage_wall_seconds", stage=s.value)
+            total = sim.timers.wall[s]
+            sum_err = max(sum_err, abs(sk.total - total))
+            mean_err = max(mean_err, abs(sk.mean - wall_means[s.value]))
+            for sk2, samples in (
+                (sk, wall_samples[s]),
+                (telem.sketch("stage_model_seconds", stage=s.value), model_samples[s]),
+            ):
+                if sk2 is None:
+                    continue
+                for q in (0.5, 0.95, 0.99):
+                    truth = true_quantile(samples, q)
+                    if abs(sk2.quantile(q) - truth) > truth * 1.01 * sk2.rel_accuracy:
+                        q_ok = False
+        report.add(
+            "stage sketch sums telescope to StageTimers totals",
+            sum_err < 1e-9,
+            f"max |sketch sum - timer| = {sum_err:.2e}",
+        )
+        report.add(
+            "stage sketch p50/means agree with StageTimers breakdown",
+            q_ok and mean_err < 1e-12,
+            f"max mean error {mean_err:.2e}, quantiles within rank-error bound",
+        )
+
+    # Forced retry exhaustion: 3-stage has no fallback tier, so a drop
+    # outliving the retry budget escapes as RetryExhaustedError and must
+    # leave a valid flight dump behind.
+    with quiet_observability():
+        cfg = SimulationConfig(dt=0.005, skin=0.3, pattern="3stage", neighbor_every=4)
+        sim = Simulation(x, v, box, LennardJones(cutoff=2.5), cfg, grid=(2, 2, 2))
+        sim.run(3)  # healthy steps populate the frame ring first
+        plan = FaultPlan(
+            seed=2,
+            policy=RetryPolicy(max_retries=2),
+            faults=(FaultSpec("drop", phases=("forward",), severity=9, count=1),),
+        )
+        fd, dump_path = tempfile.mkstemp(suffix=".json")
+        os.close(fd)
+        prev_autodump = TELEMETRY.autodump_path
+        TELEMETRY.autodump_path = dump_path
+        died = False
+        try:
+            with FAULTS.inject(plan):
+                sim.run(3)
+        except FaultError:
+            died = True
+        finally:
+            TELEMETRY.autodump_path = prev_autodump
+        try:
+            doc = load_flight_doc(dump_path)
+            kinds = {e["kind"] for e in doc["events"]}
+            frames_ok = (
+                len(doc["frames"]) >= 3
+                and set(doc["frames"][-1]["wall"]) == {s.value for s in Stage}
+            )
+            report.add(
+                "forced RetryExhaustedError auto-dumps a valid flight record",
+                died
+                and doc["schema"] == SCHEMA
+                and doc["reason"] == "retry-exhausted"
+                and frames_ok
+                and {"fault-injected", "retry", "retry-exhausted"} <= kinds,
+                f"{len(doc['frames'])} frames, events {sorted(kinds)}",
+            )
+        except (OSError, ValueError) as exc:
+            report.add(
+                "forced RetryExhaustedError auto-dumps a valid flight record",
+                False,
+                f"dump invalid: {exc}",
+            )
+        finally:
+            os.unlink(dump_path)
 
 
 def _ghost_digest(sim: Simulation) -> str:

@@ -1,0 +1,75 @@
+"""Telemetry on vs off: bit-identical ghosts and forces, fast path kept.
+
+The always-on telemetry plane must be a pure observer.  This re-drives
+the 24-configuration differential grid from
+``test_exchange_equivalence`` with telemetry enabled against a
+telemetry-disabled control and requires **bit-identical** ghost regions
+and forces — the same equivalence bar the exchange variants themselves
+are held to — plus an untouched fast path (no observability gate
+refusals) while the plane is collecting.
+"""
+
+import numpy as np
+import pytest
+
+from repro import LennardJones, Simulation, SimulationConfig
+from repro.core import FineGrainedP2PExchange
+from repro.obs.telemetry import TELEMETRY
+
+from tests.differential.test_exchange_equivalence import (
+    CONFIGS,
+    GRIDS,
+    SKIN,
+    build_world,
+    config_seed,
+    random_system,
+)
+
+
+class TestGhostBitIdentity:
+    @pytest.mark.parametrize("grid_idx,cutoff,newton", CONFIGS)
+    def test_ghosts_identical_with_telemetry(self, grid_idx, cutoff, newton):
+        grid = GRIDS[grid_idx]
+        rcomm = cutoff + SKIN
+        seed = config_seed(grid_idx, cutoff, newton)
+        x, v, _ = random_system(150, seed)
+
+        with TELEMETRY.scope():
+            w_on, d_on = build_world(grid, x, v)
+            ex_on = FineGrainedP2PExchange(w_on, d_on, rcomm=rcomm, newton=newton)
+            ex_on.borders()
+        with TELEMETRY.disabled():
+            w_off, d_off = build_world(grid, x, v)
+            ex_off = FineGrainedP2PExchange(w_off, d_off, rcomm=rcomm, newton=newton)
+            ex_off.borders()
+
+        assert ex_on._gate_blocks["observability"] == 0
+        for rank in range(w_on.size):
+            a_on, a_off = ex_on.atoms_of(rank), ex_off.atoms_of(rank)
+            assert np.array_equal(a_on.x, a_off.x)
+            assert np.array_equal(a_on.tag, a_off.tag)
+
+
+class TestForceBitIdentity:
+    @pytest.mark.parametrize("grid_idx,cutoff,newton", CONFIGS)
+    def test_forces_identical_with_telemetry(self, grid_idx, cutoff, newton):
+        grid = GRIDS[grid_idx]
+        seed = config_seed(grid_idx, cutoff, newton)
+        x, v, box = random_system(150, seed)
+        cfg = SimulationConfig(
+            dt=0.002, skin=SKIN, pattern="parallel-p2p", rdma=False,
+            neighbor_every=3, newton=newton,
+        )
+
+        with TELEMETRY.scope():
+            on = Simulation(x, v, box, LennardJones(cutoff=cutoff), cfg, grid=grid)
+            on.run(2)
+        with TELEMETRY.disabled():
+            off = Simulation(x, v, box, LennardJones(cutoff=cutoff), cfg, grid=grid)
+            off.run(2)
+
+        assert on.telemetry is not None and off.telemetry is None
+        # Collecting telemetry must not push any phase off the fast path.
+        assert on.exchange._gate_blocks["observability"] == 0
+        assert np.array_equal(on.gather_forces(), off.gather_forces())
+        assert np.array_equal(on.gather_positions(), off.gather_positions())
