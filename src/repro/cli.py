@@ -158,14 +158,11 @@ def build_telemetry_parser() -> argparse.ArgumentParser:
 
 
 def _write_textfile(path: str, text: str) -> None:
-    # Atomic rewrite: scrapers of the textfile collector never see a
-    # partially written exposition.
-    import os
+    # Atomic rewrite (rename-into-place): scrapers of the textfile
+    # collector never see a partially written exposition.
+    from repro.obs.telemetry import write_textfile
 
-    tmp = path + ".tmp"
-    with open(tmp, "w", encoding="utf-8") as fh:
-        fh.write(text)
-    os.replace(tmp, path)
+    write_textfile(path, text)
 
 
 def telemetry_main(argv) -> int:
@@ -260,6 +257,10 @@ def main(argv=None) -> int:
         return analyze_main(argv[1:])
     if argv[:1] == ["telemetry"]:
         return telemetry_main(argv[1:])
+    if argv[:1] == ["diag"]:
+        from repro.obs.diag import main as diag_main
+
+        return diag_main(argv[1:])
     args = build_parser().parse_args(argv)
     from repro.obs.telemetry import TELEMETRY
 

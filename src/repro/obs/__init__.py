@@ -28,6 +28,15 @@ One observability layer under every account the repository keeps:
   ring dumped on terminal failures, and an OpenMetrics exporter
   (``python -m repro telemetry``).  Unlike the tracer and the metrics
   registry, telemetry never disables the exchange fast path.
+* :mod:`repro.obs.rankprof` / :mod:`repro.obs.scaling` /
+  :mod:`repro.obs.diag` — the fourth tier, the **scaling observatory**:
+  critical-path attribution at *rank* granularity (per-rank × per-phase
+  × per-category tables, max/mean + p99/p50 imbalance, span-anchored
+  straggler evidence), scaling-curve capture across a rank-grid ladder
+  into ``repro-scaling/1`` artifacts (measured vs
+  ``repro.perfmodel.scaling`` prediction), and the automated diagnosis
+  engine ``python -m repro diag`` that diffs two artifacts into a
+  ranked stage/category/cohort explanation.
 
 Typical use::
 
@@ -49,6 +58,7 @@ from contextlib import contextmanager
 
 from repro.obs.flight import FlightRecorder, load_flight_doc, validate_flight_doc
 from repro.obs.metrics import METRICS, MetricsRegistry, collecting, get_metrics
+from repro.obs.rankprof import RankProfileResult, profile_exchange
 from repro.obs.sketch import QuantileSketch
 from repro.obs.telemetry import TELEMETRY, StepTelemetry, get_telemetry
 from repro.obs.trace import TRACER, Tracer, get_tracer, tracing
@@ -93,4 +103,6 @@ __all__ = [
     "tracing",
     "collecting",
     "observe",
+    "RankProfileResult",
+    "profile_exchange",
 ]

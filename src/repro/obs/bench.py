@@ -60,6 +60,7 @@ DEFAULT_TOLERANCES = {
     "table3": 0.05,  # modeled Table 3 totals
     "fig13": 0.05,  # headline speedups must not drop
     "wall": 0.5,  # wall medians (warn-only unless --gate-wall)
+    "imbalance": 0.10,  # per-rank max/mean + p99/p50 ratios (warn-only)
 }
 
 
@@ -198,6 +199,12 @@ def run_config(cfg: BenchConfig, repeats: int = 3) -> tuple[dict, object]:
     snapshot.spans = list(tracer.spans)
     snapshot.instants = list(tracer.instants)
 
+    # Per-rank profile of the same phase: the imbalance account `repro
+    # diag` diffs (rank 0's row equals the critpath record above).
+    from repro.obs.rankprof import bench_record, profile_exchange
+
+    rankprof = bench_record(profile_exchange(sim.exchange, phases=("forward",)))
+
     record = {
         "key": cfg.key,
         "config": {**cfg.to_dict(), "atoms": sim.natoms},
@@ -214,6 +221,7 @@ def run_config(cfg: BenchConfig, repeats: int = 3) -> tuple[dict, object]:
             "attribution": dict(cp.attribution),
             "top": cp.top_bottleneck(),
         },
+        "rankprof": rankprof,
     }
     stats = getattr(sim.exchange, "plan_stats", None)
     if stats is not None:
@@ -612,6 +620,38 @@ def validate_bench_doc(doc: dict) -> int:
             f"{ctx}.critpath.attribution",
             f"sums to {total!r}, not completion {cp['completion']!r}",
         )
+        # Per-rank profile: optional (pre-observatory artifacts lack it),
+        # but when present each rank's attribution must partition its
+        # completion — the same invariant the critpath record obeys.
+        rp = run.get("rankprof")
+        if rp is not None:
+            _require(isinstance(rp, dict), f"{ctx}.rankprof", "not an object")
+            rows = rp.get("ranks")
+            _require(isinstance(rows, list) and rows, f"{ctx}.rankprof.ranks",
+                     "missing per-rank rows")
+            for j, row in enumerate(rows):
+                rctx = f"{ctx}.rankprof.ranks[{j}]"
+                _require(
+                    isinstance(row, dict) and isinstance(row.get("rank"), int),
+                    rctx, "missing rank",
+                )
+                comp = row.get("completion")
+                attr = row.get("attribution")
+                _require(isinstance(comp, (int, float)) and comp >= 0,
+                         f"{rctx}.completion", f"invalid {comp!r}")
+                _require(isinstance(attr, dict) and attr,
+                         f"{rctx}.attribution", "missing attribution")
+                rtotal = sum(attr.values())
+                _require(
+                    abs(rtotal - comp) <= 1e-9 * max(comp, 1e-12),
+                    f"{rctx}.attribution",
+                    f"sums to {rtotal!r}, not completion {comp!r}",
+                )
+            imb = rp.get("imbalance")
+            _require(
+                isinstance(imb, dict) and "max_mean" in imb and "p99_p50" in imb,
+                f"{ctx}.rankprof.imbalance", "missing imbalance ratios",
+            )
     tables = doc.get("model_tables")
     _require(isinstance(tables, dict), "$.model_tables", "missing")
     for name in ("table1", "table3", "fig13"):
@@ -679,24 +719,76 @@ class CompareReport:
         return not self.regressions
 
     def render(self, verbose: bool = False) -> str:
-        """Text summary; ``verbose`` lists every metric, not just deltas."""
+        """Text summary: deltas worst-first, per-group summary, verdict.
+
+        Deviating metrics print sorted by severity (regressed before
+        warn before improved, larger relative delta first); warn-only
+        groups — ``mode="info"`` entries that can never gate — are
+        annotated so a red-looking line is readable as non-blocking.
+        ``verbose`` appends the in-tolerance metrics too.
+        """
         lines = [
             f"bench compare: {self.old_label} -> {self.new_label} "
             f"({len(self.entries)} metrics)"
         ]
-        shown = self.entries if verbose else [
-            e for e in self.entries if e.status in ("regressed", "warn", "improved")
-        ]
-        for e in shown:
+        severity = {"regressed": 0, "warn": 1, "improved": 2, "ok": 3}
+
+        def sort_key(e: CompareEntry):
+            rel = abs(e.rel) if math.isfinite(e.rel) else math.inf
+            return (severity[e.status], -rel, e.path)
+
+        shown = [e for e in self.entries if e.status != "ok"]
+        if verbose:
+            shown = list(self.entries)
+        for e in sorted(shown, key=sort_key):
             rel = "inf" if math.isinf(e.rel) else f"{100 * e.rel:+.1f}%"
+            note = " (warn-only)" if e.mode == "info" else ""
             lines.append(
                 f"  [{e.status.upper():>9}] {e.path}: {e.old:.6g} -> {e.new:.6g} "
-                f"({rel}, tol {100 * e.tol:g}% [{e.group}])"
+                f"({rel}, tol {100 * e.tol:g}% [{e.group}]){note}"
             )
-        lines.append(
-            f"{len(self.regressions)} regression(s), {len(self.warnings)} warning(s) "
-            f"over {len(self.entries)} compared metrics"
-        )
+        # Per-group roll-up, worst group first.
+        groups: dict[str, list[CompareEntry]] = {}
+        for e in self.entries:
+            groups.setdefault(e.group, []).append(e)
+
+        def group_key(item):
+            name, entries = item
+            worst = min(severity[e.status] for e in entries)
+            size = max(
+                (abs(e.rel) for e in entries if e.status != "ok"
+                 and math.isfinite(e.rel)),
+                default=0.0,
+            )
+            inf_dev = any(
+                e.status != "ok" and math.isinf(e.rel) for e in entries
+            )
+            return (worst, not inf_dev, -size, name)
+
+        lines.append("per-group (worst first):")
+        for name, entries in sorted(groups.items(), key=group_key):
+            n_reg = sum(1 for e in entries if e.status == "regressed")
+            n_warn = sum(1 for e in entries if e.status == "warn")
+            n_imp = sum(1 for e in entries if e.status == "improved")
+            gated = any(e.mode != "info" for e in entries)
+            tag = "gated" if gated else "warn-only"
+            lines.append(
+                f"  {name:<14} [{tag}]: {len(entries)} metric(s), "
+                f"{n_reg} regressed, {n_warn} warned, {n_imp} improved"
+            )
+        if self.regressions:
+            verdict = (
+                f"verdict: FAIL — {len(self.regressions)} regression(s) in "
+                f"gated groups "
+                f"({', '.join(sorted({e.group for e in self.regressions}))})"
+            )
+        else:
+            tail = (
+                f" ({len(self.warnings)} warn-only deviation(s))"
+                if self.warnings else ""
+            )
+            verdict = f"verdict: OK — no regressions beyond tolerance{tail}"
+        lines.append(verdict)
         return "\n".join(lines)
 
 
@@ -794,6 +886,14 @@ def compare(
         wall_mode = "lower_better" if gate_wall else "info"
         add(f"runs[{key}].wall.total.median", run["wall"]["total"]["median"],
             other["wall"]["total"]["median"], "wall", wall_mode)
+        # Per-rank imbalance (warn-only): only when both sides carry the
+        # profile, so pre-observatory baselines keep comparing cleanly.
+        o_imb = run.get("rankprof", {}).get("imbalance")
+        n_imb = other.get("rankprof", {}).get("imbalance")
+        if o_imb and n_imb:
+            for ratio in ("max_mean", "p99_p50"):
+                add(f"runs[{key}].imbalance.{ratio}", o_imb[ratio],
+                    n_imb[ratio], "imbalance", "info")
 
     t1o, t1n = old["model_tables"]["table1"], new["model_tables"]["table1"]
     for k in ("msgs_3stage", "msgs_p2p", "volume_ratio", "bytes_3stage", "bytes_p2p"):
@@ -1017,6 +1117,29 @@ def build_parser() -> argparse.ArgumentParser:
     spd.add_argument("candidate")
     spd.add_argument("--min", type=float, default=1.5, dest="min_ratio",
                      help="required wall-median speedup factor (default 1.5)")
+
+    scl = sub.add_parser(
+        "scaling",
+        help="run one config across a rank-grid ladder and write a "
+        "repro-scaling/1 artifact (see repro.obs.scaling)",
+    )
+    scl.add_argument("--out", required=True, help="output artifact path")
+    scl.add_argument("--potential", choices=("lj", "eam"), default="lj")
+    scl.add_argument(
+        "--pattern", choices=("3stage", "p2p", "parallel-p2p"),
+        default="parallel-p2p",
+    )
+    scl.add_argument("--rdma", action="store_true")
+    scl.add_argument("--cells", type=int, nargs=3, default=(4, 4, 4),
+                     metavar=("CX", "CY", "CZ"))
+    scl.add_argument("--steps", type=int, default=10)
+    scl.add_argument("--repeats", type=int, default=2)
+    scl.add_argument(
+        "--ladder", default="1x2x2,2x2x2",
+        help="comma-separated rank grids, ordered by rank count "
+        "(default 1x2x2,2x2x2)",
+    )
+    scl.add_argument("--label", default=None, help="artifact label (default: out stem)")
     return p
 
 
@@ -1088,6 +1211,34 @@ def main(argv=None) -> int:
             print("FAIL: comm-fastpath speedup gate not met")
             return 1
         print("OK: comm-fastpath speedup gate met")
+        return 0
+    if args.command == "scaling":
+        from repro.obs.scaling import (
+            ScalingSpec,
+            capture_scaling,
+            parse_ladder,
+            render_scaling,
+            validate_scaling_doc,
+            write_scaling,
+        )
+
+        label = args.label
+        if label is None:
+            stem = args.out.rsplit("/", 1)[-1]
+            label = stem[:-5] if stem.endswith(".json") else stem
+        try:
+            ladder = parse_ladder(args.ladder)
+            spec = ScalingSpec(args.potential, args.pattern, args.rdma,
+                               tuple(args.cells), args.steps)
+            doc = capture_scaling(spec, ladder, args.repeats, label)
+            validate_scaling_doc(doc)
+        except ValueError as exc:
+            print(f"error: {exc}")
+            return 2
+        write_scaling(args.out, doc)
+        print(f"# scaling: {len(doc['points'])} rungs -> {args.out} "
+              f"(schema {doc['schema']})")
+        print(render_scaling(doc))
         return 0
     return 2  # pragma: no cover
 

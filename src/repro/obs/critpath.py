@@ -246,6 +246,39 @@ def render_critical_path(result: CriticalPathResult) -> str:
     return "\n".join(lines)
 
 
+def critpath_to_dict(result: CriticalPathResult) -> dict:
+    """Structured (JSON-ready) form of a critical-path analysis.
+
+    The machine-readable twin of :func:`render_critical_path`, consumed
+    by ``repro diag`` and external tooling instead of parsing text.
+    Versioned as ``repro-critpath/1``; attribution keys/values are the
+    exact floats of the analysis (the partition invariant survives
+    serialization).
+    """
+    return {
+        "schema": "repro-critpath/1",
+        "base": result.base,
+        "completion": result.completion,
+        "total": result.total_time,
+        "attributed": result.total_attributed,
+        "messages": result.messages,
+        "wire_segments": result.wire_segments,
+        "attribution": dict(result.attribution),
+        "bottlenecks": [
+            {"rank": i, "category": cat, "seconds": secs, "percent": pct,
+             "label": CATEGORY_LABELS.get(cat, cat)}
+            for i, (cat, secs, pct) in enumerate(result.bottlenecks(), 1)
+        ],
+        "segments": [
+            {"name": s.name, "cat": s.cat, "start": s.start, "end": s.end,
+             "track": s.track}
+            for s in result.segments
+        ],
+        "resource_busy": dict(result.resource_busy),
+        "resource_blocked": dict(result.resource_blocked),
+    }
+
+
 def write_critpath_csv(path: str, result: CriticalPathResult) -> None:
     """CSV export: one row per attribution category, ranked."""
     with open(path, "w", newline="", encoding="utf-8") as fh:
@@ -303,3 +336,57 @@ def critpath_counter_events(result: CriticalPathResult, pid: int = 2) -> list[di
             }
         )
     return events
+
+
+def main(argv=None) -> int:
+    """``python -m repro.obs.critpath TRACE.json [--json] [--csv PATH]``.
+
+    Replays the model-clock spans of an exported Chrome trace through
+    :func:`analyze_critical_path` and prints the attribution — as the
+    text report by default, as ``repro-critpath/1`` JSON with ``--json``
+    (the structured form ``repro diag`` and external tooling consume).
+    """
+    import argparse
+    import json as _json
+    import sys
+
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.critpath",
+        description="Critical-path attribution of an exported trace.",
+    )
+    parser.add_argument("trace", help="Chrome trace-event JSON (from --trace)")
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print repro-critpath/1 JSON instead of the text report",
+    )
+    parser.add_argument("--csv", metavar="PATH", help="also write the ranked CSV")
+    args = parser.parse_args(argv)
+
+    from repro.obs.export import spans_from_chrome
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as fh:
+            doc = _json.load(fh)
+        spans = spans_from_chrome(doc)
+    except (OSError, ValueError) as exc:
+        print(f"critpath: cannot load {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    result = analyze_critical_path(spans=spans)
+    if not result.segments:
+        print(
+            f"critpath: {args.trace} holds no model-clock exchange spans "
+            "(record with --trace on a modeled run)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.csv:
+        write_critpath_csv(args.csv, result)
+    if args.json:
+        print(_json.dumps(critpath_to_dict(result), indent=1, sort_keys=True))
+    else:
+        print(render_critical_path(result))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

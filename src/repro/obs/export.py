@@ -183,6 +183,47 @@ def validate_chrome_trace(doc: dict) -> int:
     return len(events)
 
 
+def spans_from_chrome(doc: dict) -> list:
+    """Rebuild :class:`~repro.obs.trace.SpanRecord` s from an exported doc.
+
+    The inverse of the span half of :func:`chrome_trace_events`: complete
+    events (``"ph": "X"``) map back to spans, pid back to the clock via
+    the same ``_PID`` table, tid back to the track name via the
+    ``thread_name`` metadata events, and microsecond timestamps back to
+    seconds.  This is what lets the critical-path analyzer and ``repro
+    diag`` replay a trace *file* instead of a live tracer — attribution
+    over an exported trace agrees with the live analysis to float
+    round-trip precision.
+    """
+    from repro.obs.trace import SpanRecord
+
+    validate_chrome_trace(doc)
+    clock_for = {pid: clock for clock, pid in _PID.items()}
+    tracks: dict[tuple[int, int], str] = {}
+    for ev in doc["traceEvents"]:
+        if ev.get("ph") == "M" and ev.get("name") == "thread_name":
+            tracks[(ev["pid"], ev["tid"])] = ev.get("args", {}).get("name", "")
+    spans = []
+    for ev in doc["traceEvents"]:
+        if ev.get("ph") != "X":
+            continue
+        pid = ev.get("pid")
+        if pid not in clock_for:
+            continue
+        spans.append(
+            SpanRecord(
+                name=ev["name"],
+                cat=ev.get("cat", ""),
+                ts=ev["ts"] / 1e6,
+                dur=ev["dur"] / 1e6,
+                clock=clock_for[pid],
+                track=tracks.get((pid, ev.get("tid")), ""),
+                args=dict(ev.get("args", {})),
+            )
+        )
+    return spans
+
+
 def validate_chrome_trace_file(path: str) -> int:
     """Load ``path`` as JSON and validate it; returns the event count."""
     with open(path, "r", encoding="utf-8") as fh:

@@ -1,0 +1,403 @@
+"""Per-rank critical-path profiler: load imbalance at rank granularity.
+
+The critical-path analyzer (:mod:`repro.obs.critpath`) explains one
+rank's modeled exchange; the bench harness records rank 0's.  But the
+paper's scaling cliffs (Figs. 11-15) are *distribution* phenomena — a
+handful of slow ranks, or one saturated category on a straggler cohort,
+decide the strong-scaling knee.  This module extends the attribution to
+rank granularity:
+
+* :func:`profile_exchange` runs :func:`~repro.core.modeling.\
+  modeled_exchange_time` for **every** rank of an exchange under a fresh
+  trace and critical-path-analyzes each round, producing a per-rank ×
+  per-phase × per-category time table;
+* :class:`RankProfileResult` derives the load-imbalance metrics the
+  stage model only asserts analytically — max/mean and p99/p50 ratios
+  per phase — and identifies **stragglers** with span-anchored evidence
+  (the longest link of the slow rank's critical chain);
+* :func:`feed_telemetry` folds the table into per-rank-labeled
+  :class:`~repro.obs.sketch.QuantileSketch` es on the always-on
+  telemetry plane;
+* :func:`to_dict` / :func:`validate_rankprof_doc` define the versioned
+  ``repro-rankprof/1`` artifact the diagnosis engine
+  (:mod:`repro.obs.diag`) diffs.
+
+The exactness contract carries over bit-for-bit: each rank's
+attribution partitions its modeled exchange time exactly (the critpath
+invariant), rank 0's row *is* the whole-run attribution the bench
+harness already records (same spans, same analysis), and profiling is a
+pure observer — the 24-configuration differential suite proves ghosts
+and forces stay bit-identical with the profiler enabled.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.machine.params import FUGAKU, MachineParams
+from repro.obs.critpath import CriticalPathResult
+
+#: Versioned schema identifier checked by :func:`validate_rankprof_doc`.
+SCHEMA = "repro-rankprof/1"
+
+#: Exchange phases a profile may cover.
+PROFILE_PHASES = ("forward", "reverse", "border")
+
+#: A rank is a straggler when its completion exceeds the per-phase
+#: median by this relative margin.
+STRAGGLER_MARGIN = 0.10
+
+
+def rank_percentile(values: list[float], q: float) -> float:
+    """The ``q``-quantile of ``values`` under the sketch rank convention.
+
+    Value at 1-based rank ``max(1, ceil(q * n))`` of the sorted list —
+    the same rule :meth:`repro.obs.sketch.QuantileSketch.quantile`
+    applies, so table-derived and sketch-derived percentiles agree.
+    Returns ``nan`` for an empty list (the unified empty-distribution
+    semantics).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if not values:
+        return math.nan
+    ordered = sorted(values)
+    return ordered[max(1, math.ceil(q * len(ordered))) - 1]
+
+
+@dataclass(frozen=True)
+class RankPhaseProfile:
+    """One rank's critical-path account of one exchange phase."""
+
+    rank: int
+    phase: str
+    completion: float  # modeled exchange seconds (== attribution sum)
+    attribution: dict[str, float]
+    messages: int
+    wire_segments: int
+    natoms: int  # owned atoms (the Pair-side load proxy)
+    evidence: dict  # longest chain link: name/cat/track/start/end
+
+    @property
+    def top_category(self) -> str:
+        """Category holding the largest share of this rank's path."""
+        if not self.attribution:
+            return ""
+        return max(self.attribution.items(), key=lambda kv: kv[1])[0]
+
+
+@dataclass(frozen=True)
+class ImbalanceStats:
+    """Distribution summary of one phase's per-rank completions."""
+
+    phase: str
+    mean: float
+    min: float
+    max: float
+    max_mean: float  # the classic LAMMPS-style imbalance ratio
+    p99_p50: float
+    stragglers: tuple[int, ...]  # ranks above the straggler margin
+
+
+@dataclass
+class RankProfileResult:
+    """Per-rank × per-phase × per-category profile of one exchange."""
+
+    pattern: str
+    ranks: int
+    phases: tuple[str, ...]
+    straggler_margin: float = STRAGGLER_MARGIN
+    profiles: list[RankPhaseProfile] = field(default_factory=list)
+
+    def by_phase(self, phase: str) -> list[RankPhaseProfile]:
+        """This phase's rows, ordered by rank."""
+        rows = [p for p in self.profiles if p.phase == phase]
+        return sorted(rows, key=lambda p: p.rank)
+
+    def completions(self, phase: str) -> list[float]:
+        """Per-rank modeled completion seconds of one phase."""
+        return [p.completion for p in self.by_phase(phase)]
+
+    def imbalance(self, phase: str) -> ImbalanceStats:
+        """max/mean + p99/p50 imbalance and the straggler cohort."""
+        rows = self.by_phase(phase)
+        times = [p.completion for p in rows]
+        if not times:
+            return ImbalanceStats(phase, math.nan, math.nan, math.nan,
+                                  math.nan, math.nan, ())
+        mean = sum(times) / len(times)
+        p50 = rank_percentile(times, 0.50)
+        p99 = rank_percentile(times, 0.99)
+        cut = p50 * (1.0 + self.straggler_margin)
+        stragglers = tuple(p.rank for p in rows if p.completion > cut)
+        return ImbalanceStats(
+            phase=phase,
+            mean=mean,
+            min=min(times),
+            max=max(times),
+            max_mean=max(times) / mean if mean > 0 else math.nan,
+            p99_p50=p99 / p50 if p50 > 0 else math.nan,
+            stragglers=stragglers,
+        )
+
+    def categories(self, phase: str) -> dict[str, float]:
+        """Per-category seconds summed over all ranks of one phase."""
+        out: dict[str, float] = {}
+        for p in self.by_phase(phase):
+            for cat, secs in p.attribution.items():
+                out[cat] = out.get(cat, 0.0) + secs
+        return out
+
+
+def _chain_evidence(cp: CriticalPathResult) -> dict:
+    """The longest link of a critical chain, span-anchored."""
+    if not cp.segments:
+        return {}
+    seg = max(cp.segments, key=lambda s: s.dur)
+    return {
+        "name": seg.name,
+        "cat": seg.cat,
+        "track": seg.track,
+        "start": seg.start,
+        "end": seg.end,
+        "dur": seg.dur,
+    }
+
+
+def profile_exchange(
+    exchange,
+    phases: tuple[str, ...] = ("forward",),
+    params: MachineParams = FUGAKU,
+    straggler_margin: float = STRAGGLER_MARGIN,
+) -> RankProfileResult:
+    """Critical-path-profile every rank of ``exchange``, per phase.
+
+    Each (rank, phase) runs the rank's real message schedule through the
+    network simulator under a fresh trace (the model cache is bypassed
+    whenever the tracer is live, so every round produces full
+    provenance spans) and is analyzed independently.  Pure observer: the
+    exchange's functional state, plan cache, and fast-path gate are
+    untouched.
+    """
+    from repro.core.modeling import modeled_exchange_time
+    from repro.obs import observe
+    from repro.obs.critpath import analyze_critical_path
+
+    for phase in phases:
+        if phase not in PROFILE_PHASES:
+            raise ValueError(
+                f"unknown phase {phase!r}; choose from {PROFILE_PHASES}"
+            )
+    result = RankProfileResult(
+        pattern=exchange.name,
+        ranks=exchange.world.size,
+        phases=tuple(phases),
+        straggler_margin=straggler_margin,
+    )
+    for rank in range(exchange.world.size):
+        natoms = int(exchange.atoms_of(rank).nlocal)
+        for phase in phases:
+            with observe(metrics=False) as (tracer, _):
+                modeled_exchange_time(exchange, phase, params, rank)
+            cp = analyze_critical_path(tracer)
+            result.profiles.append(
+                RankPhaseProfile(
+                    rank=rank,
+                    phase=phase,
+                    completion=cp.completion - cp.base,
+                    attribution=dict(cp.attribution),
+                    messages=cp.messages,
+                    wire_segments=cp.wire_segments,
+                    natoms=natoms,
+                    evidence=_chain_evidence(cp),
+                )
+            )
+    return result
+
+
+def feed_telemetry(result: RankProfileResult, telemetry=None) -> int:
+    """Fold a profile into per-rank-labeled telemetry sketches.
+
+    Records ``rank_exchange_seconds{phase,rank}`` (one sample per rank
+    per phase) and ``rank_critpath_seconds{phase,rank,category}`` into
+    the given :class:`~repro.obs.telemetry.StepTelemetry` (default: the
+    globally attached one).  Returns the number of samples recorded —
+    0 when no telemetry is attached, so callers never need to guard.
+    """
+    if telemetry is None:
+        from repro.obs.telemetry import TELEMETRY
+
+        telemetry = TELEMETRY.active
+    if telemetry is None:
+        return 0
+    samples = 0
+    for p in result.profiles:
+        telemetry.observe(
+            "rank_exchange_seconds", p.completion, phase=p.phase, rank=p.rank
+        )
+        samples += 1
+        for cat, secs in p.attribution.items():
+            telemetry.observe(
+                "rank_critpath_seconds", secs,
+                phase=p.phase, rank=p.rank, category=cat,
+            )
+            samples += 1
+    return samples
+
+
+# -- artifact -------------------------------------------------------------
+def to_dict(result: RankProfileResult, label: str = "local") -> dict:
+    """The versioned ``repro-rankprof/1`` form of a profile."""
+    phases = {}
+    for phase in result.phases:
+        imb = result.imbalance(phase)
+        phases[phase] = {
+            "rows": [
+                {
+                    "rank": p.rank,
+                    "completion": p.completion,
+                    "attribution": dict(p.attribution),
+                    "messages": p.messages,
+                    "wire_segments": p.wire_segments,
+                    "natoms": p.natoms,
+                    "top": p.top_category,
+                    "evidence": dict(p.evidence),
+                }
+                for p in result.by_phase(phase)
+            ],
+            "imbalance": {
+                "mean": imb.mean,
+                "min": imb.min,
+                "max": imb.max,
+                "max_mean": imb.max_mean,
+                "p99_p50": imb.p99_p50,
+                "stragglers": list(imb.stragglers),
+            },
+        }
+    return {
+        "schema": SCHEMA,
+        "label": label,
+        "pattern": result.pattern,
+        "ranks": result.ranks,
+        "straggler_margin": result.straggler_margin,
+        "phases": phases,
+    }
+
+
+def _require(cond: bool, path: str, why: str) -> None:
+    if not cond:
+        raise ValueError(f"rankprof document invalid at {path}: {why}")
+
+
+def validate_rankprof_doc(doc: dict) -> int:
+    """Validate a ``repro-rankprof/1`` document; returns the row count.
+
+    The critical invariant is re-checked on the serialized form: every
+    row's attribution must sum to its completion within float tolerance.
+    """
+    _require(isinstance(doc, dict), "$", "not an object")
+    _require(doc.get("schema") == SCHEMA, "$.schema",
+             f"expected {SCHEMA!r}, got {doc.get('schema')!r}")
+    ranks = doc.get("ranks")
+    _require(isinstance(ranks, int) and ranks > 0, "$.ranks", f"invalid {ranks!r}")
+    phases = doc.get("phases")
+    _require(isinstance(phases, dict) and phases, "$.phases", "missing phases")
+    rows_total = 0
+    for phase, body in phases.items():
+        ctx = f"$.phases.{phase}"
+        _require(phase in PROFILE_PHASES, ctx, f"unknown phase {phase!r}")
+        rows = body.get("rows") if isinstance(body, dict) else None
+        _require(isinstance(rows, list) and rows, f"{ctx}.rows", "missing rows")
+        seen = set()
+        for i, row in enumerate(rows):
+            rctx = f"{ctx}.rows[{i}]"
+            _require(isinstance(row, dict), rctx, "not an object")
+            r = row.get("rank")
+            _require(isinstance(r, int) and 0 <= r < ranks, f"{rctx}.rank",
+                     f"invalid {r!r}")
+            _require(r not in seen, f"{rctx}.rank", f"duplicate rank {r}")
+            seen.add(r)
+            comp = row.get("completion")
+            _require(
+                isinstance(comp, (int, float)) and math.isfinite(comp) and comp >= 0,
+                f"{rctx}.completion", f"invalid {comp!r}",
+            )
+            attr = row.get("attribution")
+            _require(isinstance(attr, dict) and attr, f"{rctx}.attribution",
+                     "missing attribution")
+            total = sum(attr.values())
+            _require(
+                abs(total - comp) <= 1e-9 * max(comp, 1e-12),
+                f"{rctx}.attribution",
+                f"sums to {total!r}, not completion {comp!r}",
+            )
+            rows_total += 1
+        imb = body.get("imbalance")
+        _require(isinstance(imb, dict), f"{ctx}.imbalance", "missing imbalance")
+        for k in ("mean", "max", "max_mean", "p99_p50"):
+            v = imb.get(k)
+            _require(isinstance(v, (int, float)), f"{ctx}.imbalance.{k}",
+                     f"invalid {v!r}")
+        strag = imb.get("stragglers")
+        _require(
+            isinstance(strag, list) and all(isinstance(s, int) for s in strag),
+            f"{ctx}.imbalance.stragglers", f"invalid {strag!r}",
+        )
+    return rows_total
+
+
+def render_rank_profile(result: RankProfileResult) -> str:
+    """Text report: per-phase rank table + imbalance + straggler evidence."""
+    lines = [
+        f"per-rank exchange profile: pattern {result.pattern}, "
+        f"{result.ranks} ranks, phases {', '.join(result.phases)}"
+    ]
+    for phase in result.phases:
+        imb = result.imbalance(phase)
+        lines.append("")
+        lines.append(
+            f"[{phase}] max/mean {imb.max_mean:.3f}, p99/p50 {imb.p99_p50:.3f}, "
+            f"stragglers {list(imb.stragglers) or 'none'} "
+            f"(margin {100 * result.straggler_margin:g}% over median)"
+        )
+        lines.append(f"{'rank':>5} | {'atoms':>6} | {'modeled us':>10} | "
+                     f"{'msgs':>4} | top category")
+        lines.append("-" * 64)
+        for p in result.by_phase(phase):
+            mark = " *" if p.rank in imb.stragglers else ""
+            lines.append(
+                f"{p.rank:>5} | {p.natoms:>6} | {p.completion * 1e6:>10.3f} | "
+                f"{p.messages:>4} | {p.top_category}{mark}"
+            )
+        for p in result.by_phase(phase):
+            if p.rank in imb.stragglers and p.evidence:
+                ev = p.evidence
+                lines.append(
+                    f"  straggler rank {p.rank}: longest link {ev['name']!r} "
+                    f"({ev['cat']}, {ev['dur'] * 1e6:.3f}us on {ev['track']}) "
+                    f"[{ev['start'] * 1e6:.3f}, {ev['end'] * 1e6:.3f}]us"
+                )
+    return "\n".join(lines)
+
+
+def bench_record(result: RankProfileResult, phase: str = "forward") -> dict:
+    """Compact per-rank record embedded in ``repro-bench/1`` runs."""
+    imb = result.imbalance(phase)
+    return {
+        "phase": phase,
+        "ranks": [
+            {
+                "rank": p.rank,
+                "completion": p.completion,
+                "attribution": dict(p.attribution),
+                "natoms": p.natoms,
+            }
+            for p in result.by_phase(phase)
+        ],
+        "imbalance": {
+            "max_mean": imb.max_mean,
+            "p99_p50": imb.p99_p50,
+            "stragglers": list(imb.stragglers),
+        },
+    }

@@ -122,7 +122,14 @@ class QuantileSketch:
         return self.max  # pragma: no cover - cumulative always reaches count
 
     def percentiles(self, *qs: float) -> dict[float, float]:
-        """Several quantiles in one call (keyed by ``q``)."""
+        """Several quantiles in one call (keyed by ``q``).
+
+        Empty-distribution semantics are unified across the stack: on a
+        sketch with no samples every requested quantile maps to ``nan``,
+        exactly like :meth:`quantile` and
+        :meth:`repro.obs.metrics.Histogram.percentile`.  Out-of-range
+        ``q`` still raises — emptiness never masks a bad argument.
+        """
         return {q: self.quantile(q) for q in qs}
 
     # -- (de)serialization ----------------------------------------------------

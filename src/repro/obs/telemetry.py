@@ -56,10 +56,40 @@ def _key(name: str, labels: dict[str, Any]) -> _MetricKey:
     return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the OpenMetrics/Prometheus text format.
+
+    Backslash, double-quote, and newline are the three characters the
+    exposition format requires escaping inside quoted label values —
+    unescaped they corrupt the line for every scraper.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _label_str(labels: tuple[tuple[str, str], ...]) -> str:
     if not labels:
         return ""
-    return "{" + ",".join(f'{k}="{v}"' for k, v in labels) + "}"
+    return (
+        "{"
+        + ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in labels)
+        + "}"
+    )
+
+
+def write_textfile(path: str, text: str) -> None:
+    """Atomically (re)write ``path`` — write a sibling temp file, then
+    rename into place, so concurrent readers (node-exporter's textfile
+    collector, a tailing CI step) always see a complete document, never
+    a torn write.
+    """
+    import os
+
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    os.replace(tmp, path)
 
 
 class StepTelemetry:

@@ -161,6 +161,7 @@ def run_selfcheck(
     _critpath_checks(report, x, v, box)
     _analysis_checks(report, x, v, box)
     _telemetry_checks(report, x, v, box, steps=max(steps // 2, 5))
+    _scaling_observatory_checks(report, x, v, box)
     if fault_plan is not None:
         _fault_checks(report, x, v, box, fault_plan)
     return report
@@ -565,6 +566,114 @@ def _telemetry_checks(
             )
         finally:
             os.unlink(dump_path)
+
+
+def _scaling_observatory_checks(
+    report: SelfCheckReport,
+    x: np.ndarray,
+    v: np.ndarray,
+    box,
+) -> None:
+    """Scaling-observatory battery: rank-granular attribution + diagnosis.
+
+    The per-rank profiler claims its table is the *same account* the
+    existing layers keep, extended to rank granularity.  Five checks pin
+    that claim:
+
+    * every (rank, phase) row's attribution partitions its modeled
+      completion exactly (the critpath invariant, per rank);
+    * each row's completion equals an independently recomputed
+      :func:`~repro.core.modeling.modeled_exchange_time` for that rank
+      **bit-exactly** — the profile telescopes to the untraced account;
+    * rank 0's forward row *is* the whole-run critical-path attribution
+      (same spans, same analysis) bit-for-bit;
+    * the serialized ``repro-rankprof/1`` document round-trips through
+      its validator (which re-checks the partition invariant);
+    * ``repro diag`` on two profiles differing only by one jittered rank
+      (fault plane, ``inject-jitter`` on rank 2) names that exact
+      cohort, the ``fault`` category, and the imbalance shape in its
+      top-ranked finding.
+    """
+    from repro.core.modeling import modeled_exchange_time
+    from repro.faults import FAULTS, FaultPlan
+    from repro.faults.plan import FaultSpec
+    from repro.obs import observe
+    from repro.obs.critpath import analyze_critical_path
+    from repro.obs.diag import diagnose
+    from repro.obs.rankprof import profile_exchange, to_dict, validate_rankprof_doc
+
+    cfg = SimulationConfig(
+        dt=0.005, skin=0.3, pattern="parallel-p2p", rdma=True,
+        neighbor_every=5, model_machine_time=True,
+    )
+    sim = Simulation(x, v, box, LennardJones(cutoff=2.5), cfg, grid=(2, 2, 2))
+    sim.setup()
+
+    prof = profile_exchange(sim.exchange, phases=("forward", "reverse"))
+    worst = 0.0
+    for p in prof.profiles:
+        tol = 1e-9 * max(p.completion, 1e-12)
+        worst = max(worst, abs(sum(p.attribution.values()) - p.completion) - tol)
+    report.add(
+        "rankprof attribution partitions each rank's exchange exactly",
+        worst <= 0.0,
+        f"{len(prof.profiles)} rank x phase rows checked",
+    )
+
+    exact = all(
+        modeled_exchange_time(sim.exchange, p.phase, rank=p.rank) == p.completion
+        for p in prof.profiles
+    )
+    report.add(
+        "rankprof completions telescope to modeled_exchange_time bit-exactly",
+        exact,
+        f"{len(prof.profiles)} independent re-computations",
+    )
+
+    with observe(metrics=False) as (tracer, _):
+        modeled_exchange_time(sim.exchange, "forward", rank=0)
+    cp = analyze_critical_path(tracer)
+    row0 = prof.by_phase("forward")[0]
+    report.add(
+        "rankprof rank-0 row equals whole-run critpath attribution bit-exactly",
+        row0.attribution == dict(cp.attribution)
+        and row0.completion == cp.completion - cp.base,
+        f"{len(row0.attribution)} categories compared",
+    )
+
+    doc_clean = to_dict(prof, label="selfcheck-clean")
+    try:
+        rows = validate_rankprof_doc(doc_clean)
+        report.add(
+            "rankprof document validates as repro-rankprof/1",
+            rows == len(prof.profiles),
+            f"{rows} rows",
+        )
+    except ValueError as exc:
+        report.add("rankprof document validates as repro-rankprof/1", False, str(exc))
+        return
+
+    plan = FaultPlan(
+        seed=5, faults=(FaultSpec("inject-jitter", src=2, stall=2e-6),)
+    )
+    with FAULTS.inject(plan):
+        jittered = profile_exchange(sim.exchange, phases=("forward", "reverse"))
+    doc_jit = to_dict(jittered, label="selfcheck-jittered")
+    diag = diagnose(doc_clean, doc_jit, "clean", "jittered")
+    top = diag.findings[0] if diag.findings else None
+    report.add(
+        "diag names the perturbed rank cohort, category, and shape",
+        top is not None
+        and top.cohort == (2,)
+        and top.category == "fault"
+        and top.shape == "imbalance"
+        and top.stage == "Comm",
+        "top finding: "
+        + (
+            f"{top.shape} in {top.stage}/{top.category} on ranks "
+            f"{list(top.cohort)}" if top else "none"
+        ),
+    )
 
 
 def _ghost_digest(sim: Simulation) -> str:

@@ -1,0 +1,78 @@
+"""Rank profiler on vs off: bit-identical ghosts and forces.
+
+The per-rank profiler is a pure observer: it replays each rank's
+message schedule through the *model* under a scoped trace and never
+touches the exchange's functional state, plan cache, or fast-path gate.
+This re-drives the 24-configuration differential grid from
+``test_exchange_equivalence`` with the profiler interleaved mid-run
+against an unprofiled control and requires **bit-identical** ghost
+regions, forces, and positions — plus an untouched fast path.
+"""
+
+import numpy as np
+import pytest
+
+from repro import LennardJones, Simulation, SimulationConfig
+from repro.core import FineGrainedP2PExchange
+from repro.obs.rankprof import profile_exchange
+
+from tests.differential.test_exchange_equivalence import (
+    CONFIGS,
+    GRIDS,
+    SKIN,
+    build_world,
+    config_seed,
+    random_system,
+)
+
+
+class TestGhostBitIdentity:
+    @pytest.mark.parametrize("grid_idx,cutoff,newton", CONFIGS)
+    def test_ghosts_identical_with_profiler(self, grid_idx, cutoff, newton):
+        grid = GRIDS[grid_idx]
+        rcomm = cutoff + SKIN
+        seed = config_seed(grid_idx, cutoff, newton)
+        x, v, _ = random_system(150, seed)
+
+        w_on, d_on = build_world(grid, x, v)
+        ex_on = FineGrainedP2PExchange(w_on, d_on, rcomm=rcomm, newton=newton)
+        ex_on.borders()
+        prof = profile_exchange(ex_on, phases=("forward",))
+        assert len(prof.profiles) == w_on.size
+        ex_on.forward()
+
+        w_off, d_off = build_world(grid, x, v)
+        ex_off = FineGrainedP2PExchange(w_off, d_off, rcomm=rcomm, newton=newton)
+        ex_off.borders()
+        ex_off.forward()
+
+        # Profiling must not count as an observability fast-path refusal.
+        assert ex_on._gate_blocks["observability"] == 0
+        for rank in range(w_on.size):
+            a_on, a_off = ex_on.atoms_of(rank), ex_off.atoms_of(rank)
+            assert np.array_equal(a_on.x, a_off.x)
+            assert np.array_equal(a_on.tag, a_off.tag)
+
+
+class TestForceBitIdentity:
+    @pytest.mark.parametrize("grid_idx,cutoff,newton", CONFIGS)
+    def test_forces_identical_with_profiler(self, grid_idx, cutoff, newton):
+        grid = GRIDS[grid_idx]
+        seed = config_seed(grid_idx, cutoff, newton)
+        x, v, box = random_system(150, seed)
+        cfg = SimulationConfig(
+            dt=0.002, skin=SKIN, pattern="parallel-p2p", rdma=False,
+            neighbor_every=3, newton=newton,
+        )
+
+        on = Simulation(x, v, box, LennardJones(cutoff=cutoff), cfg, grid=grid)
+        on.run(1)
+        profile_exchange(on.exchange, phases=("forward",))  # mid-run probe
+        on.run(1)
+
+        off = Simulation(x, v, box, LennardJones(cutoff=cutoff), cfg, grid=grid)
+        off.run(2)
+
+        assert on.exchange._gate_blocks["observability"] == 0
+        assert np.array_equal(on.gather_forces(), off.gather_forces())
+        assert np.array_equal(on.gather_positions(), off.gather_positions())

@@ -205,3 +205,70 @@ class TestCLI:
         write_report_csv(str(path), doc)
         rows = path.read_text().splitlines()
         assert len(rows) == 1 + 5 * len(doc["runs"])
+
+
+class TestRenderOrderingAndVerdict:
+    def test_worst_first_and_fail_verdict(self, doc):
+        text = compare(doc, regress(doc)).render()
+        body = text.splitlines()
+        deltas = [ln for ln in body if ln.lstrip().startswith("[")]
+        # Severity-sorted: every REGRESSED line precedes every other status.
+        last_reg = max(i for i, ln in enumerate(deltas) if "REGRESSED" in ln)
+        first_other = min(
+            (i for i, ln in enumerate(deltas) if "REGRESSED" not in ln),
+            default=len(deltas),
+        )
+        assert last_reg < first_other
+        assert "per-group (worst first):" in text
+        assert any("model" in ln and "[gated]" in ln for ln in body)
+        assert body[-1].startswith("verdict: FAIL — ")
+        assert "gated groups" in body[-1] and "model" in body[-1]
+
+    def test_ok_verdict_counts_warn_only_deviations(self, doc):
+        assert compare(doc, doc).render().splitlines()[-1] == (
+            "verdict: OK — no regressions beyond tolerance"
+        )
+        bad = copy.deepcopy(doc)
+        for run in bad["runs"]:
+            imb = run.get("rankprof", {}).get("imbalance")
+            if imb:
+                imb["max_mean"] *= 2.0
+        report = compare(doc, bad)
+        assert report.ok and report.warnings
+        text = report.render()
+        assert "(warn-only)" in text
+        assert "imbalance" in text
+        assert text.splitlines()[-1].startswith("verdict: OK — ")
+        assert "warn-only deviation(s)" in text.splitlines()[-1]
+
+    def test_imbalance_never_gates_the_exit_code(self, doc, tmp_path):
+        base = tmp_path / "base.json"
+        cand = tmp_path / "cand.json"
+        bad = copy.deepcopy(doc)
+        for run in bad["runs"]:
+            imb = run.get("rankprof", {}).get("imbalance")
+            if imb:
+                imb["max_mean"] *= 2.0
+                imb["p99_p50"] *= 2.0
+        base.write_text(json.dumps(doc))
+        cand.write_text(json.dumps(bad))
+        assert bench.main(["compare", str(base), str(cand)]) == 0
+
+    def test_legacy_baseline_without_rankprof_still_compares(self, doc):
+        legacy = copy.deepcopy(doc)
+        for run in legacy["runs"]:
+            run.pop("rankprof", None)
+        report = compare(legacy, doc)
+        assert report.ok
+        assert not any(e.group == "imbalance" for e in report.entries)
+
+    def test_runs_embed_validating_rankprof(self, doc):
+        from repro.obs.rankprof import bench_record  # noqa: F401 - same shape
+
+        for run in doc["runs"]:
+            rp = run["rankprof"]
+            assert rp["phase"] == "forward"
+            for row in rp["ranks"]:
+                assert sum(row["attribution"].values()) == pytest.approx(
+                    row["completion"], rel=1e-9
+                )

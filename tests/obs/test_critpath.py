@@ -158,3 +158,88 @@ class TestRenderers:
 
     def test_counter_events_empty_result(self):
         assert critpath_counter_events(CriticalPathResult()) == []
+
+
+class TestStructuredExport:
+    def test_to_dict_preserves_the_partition(self):
+        from repro.obs.critpath import critpath_to_dict
+
+        tracer, _ = traced_round(p2p_messages())
+        cp = analyze_critical_path(tracer)
+        doc = critpath_to_dict(cp)
+        assert doc["schema"] == "repro-critpath/1"
+        assert doc["attribution"] == dict(cp.attribution)
+        assert sum(doc["attribution"].values()) == pytest.approx(
+            doc["total"], rel=1e-12
+        )
+        assert doc["messages"] == cp.messages
+        assert [b["category"] for b in doc["bottlenecks"]] == [
+            cat for cat, _, _ in cp.bottlenecks()
+        ]
+        assert len(doc["segments"]) == len(cp.segments)
+
+    def test_spans_round_trip_through_chrome(self):
+        import json as _json
+
+        from repro.obs.export import spans_from_chrome
+
+        tracer, _ = traced_round(p2p_messages())
+        doc = _json.loads(_json.dumps(chrome_trace_events(tracer)))
+        back = spans_from_chrome(doc)
+        cp_direct = analyze_critical_path(tracer)
+        cp_back = analyze_critical_path(spans=back)
+        # µs round-trip keeps the attribution identical to analysis noise.
+        assert cp_back.messages == cp_direct.messages
+        assert set(cp_back.attribution) == set(cp_direct.attribution)
+        for cat, secs in cp_direct.attribution.items():
+            assert cp_back.attribution[cat] == pytest.approx(secs, rel=1e-6)
+
+
+class TestCLI:
+    def _write_trace(self, tmp_path):
+        import json as _json
+
+        from repro.obs.export import write_chrome_trace
+
+        tracer, _ = traced_round(p2p_messages())
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), tracer)
+        _json.loads(path.read_text())  # sanity: valid JSON on disk
+        return path
+
+    def test_text_and_json_modes(self, tmp_path, capsys):
+        import json as _json
+
+        from repro.obs.critpath import main
+
+        path = self._write_trace(tmp_path)
+        assert main([str(path)]) == 0
+        assert "critical path" in capsys.readouterr().out.lower()
+        assert main([str(path), "--json"]) == 0
+        doc = _json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro-critpath/1"
+        assert sum(doc["attribution"].values()) == pytest.approx(
+            doc["total"], rel=1e-9
+        )
+
+    def test_csv_side_output(self, tmp_path, capsys):
+        from repro.obs.critpath import main
+
+        path = self._write_trace(tmp_path)
+        out = tmp_path / "cp.csv"
+        assert main([str(path), "--csv", str(out), "--json"]) == 0
+        capsys.readouterr()
+        rows = list(csv.reader(out.open()))
+        assert rows[0] == ["rank", "category", "seconds", "percent", "label"]
+        assert len(rows) > 1
+
+    def test_missing_or_spanless_trace_exits_2(self, tmp_path, capsys):
+        import json as _json
+
+        from repro.obs.critpath import main
+
+        assert main([str(tmp_path / "gone.json")]) == 2
+        empty = tmp_path / "empty.json"
+        empty.write_text(_json.dumps({"traceEvents": []}))
+        assert main([str(empty)]) == 2
+        assert "no model-clock exchange spans" in capsys.readouterr().err

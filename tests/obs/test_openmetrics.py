@@ -1,0 +1,123 @@
+"""OpenMetrics exposition: label escaping, atomic rewrite, stability."""
+
+import threading
+
+from repro import LennardJones, Simulation, SimulationConfig
+from repro.md.lattice import fcc_lattice, lj_density_to_cell, maxwell_velocities
+from repro.obs.telemetry import TELEMETRY, StepTelemetry, write_textfile
+
+
+def build_sim():
+    edge = lj_density_to_cell(0.8442)
+    x, box = fcc_lattice((4, 2, 2), edge)
+    v = maxwell_velocities(len(x), 1.44, seed=11)
+    cfg = SimulationConfig(
+        dt=0.005, skin=0.3, pattern="parallel-p2p", rdma=False, neighbor_every=4
+    )
+    return Simulation(x, v, box, LennardJones(cutoff=2.5), cfg, grid=(2, 1, 1))
+
+
+class TestLabelEscaping:
+    def test_backslash_quote_and_newline(self):
+        t = StepTelemetry()
+        t.counter_add("weird_total", 1.0, path="a\\b", msg='say "hi"\nbye')
+        text = t.render_openmetrics()
+        line = next(
+            ln for ln in text.splitlines() if ln.startswith("repro_weird_total{")
+        )
+        assert r'msg="say \"hi\"\nbye"' in line
+        assert r'path="a\\b"' in line
+        # The raw newline must never split the series onto two lines.
+        assert text.count("repro_weird_total{") == 1
+
+    def test_clean_values_unchanged(self):
+        t = StepTelemetry()
+        t.gauge_set("pool_bytes", 7.0, pattern="parallel-p2p")
+        assert 'repro_pool_bytes{pattern="parallel-p2p"} 7' in t.render_openmetrics()
+
+    def test_escaped_exposition_stays_parseable(self):
+        # Every non-comment line is `name{labels} value`: one unescaped
+        # opening brace, a closing brace, then a float.
+        t = StepTelemetry()
+        t.counter_add("x_total", 2.0, k='a"b\\c\nd')
+        t.observe("y_seconds", 0.5, k="plain")
+        for ln in t.render_openmetrics().splitlines():
+            if ln.startswith("#"):
+                continue
+            name, rest = ln.split("{", 1)
+            labels, value = rest.rsplit("} ", 1)
+            assert name.startswith("repro_")
+            float(value)
+            assert "\n" not in labels
+
+
+class TestAtomicTextfile:
+    def test_writes_and_terminates(self, tmp_path):
+        path = tmp_path / "node.prom"
+        t = StepTelemetry()
+        t.counter_add("c_total", 1.0)
+        write_textfile(str(path), t.render_openmetrics())
+        body = path.read_text()
+        assert body.endswith("# EOF\n")
+        # The temp sibling must be renamed away, not left behind.
+        assert [p.name for p in tmp_path.iterdir()] == ["node.prom"]
+
+    def test_concurrent_readers_never_see_a_partial_file(self, tmp_path):
+        path = tmp_path / "node.prom"
+        payloads = []
+        for tag in ("alpha", "beta"):
+            t = StepTelemetry()
+            t.counter_add("c_total", 1.0, tag=tag)
+            t.counter_add("pad_total", 1.0, pad="x" * 4096)
+            payloads.append(t.render_openmetrics())
+        write_textfile(str(path), payloads[0])
+
+        stop = threading.Event()
+        def writer():
+            i = 0
+            while not stop.is_set():
+                write_textfile(str(path), payloads[i % 2])
+                i += 1
+        th = threading.Thread(target=writer)
+        th.start()
+        try:
+            seen = set()
+            for _ in range(500):
+                body = path.read_text()
+                # Atomic rename: a read observes exactly one whole
+                # exposition, never a torn or truncated mix.
+                assert body in payloads
+                seen.add(payloads.index(body))
+        finally:
+            stop.set()
+            th.join()
+        assert 0 in seen  # the loop really read something
+
+
+class TestSnapshotStability:
+    def test_export_does_not_perturb_state(self):
+        with TELEMETRY.scope():
+            sim = build_sim()
+            sim.run(3)
+            t = TELEMETRY.active
+            assert t is not None
+            snap = t.snapshot()
+            r1 = t.render_openmetrics()
+            r2 = t.render_openmetrics()
+            assert r1 == r2
+            assert t.snapshot() == snap
+
+    def test_flushes_only_grow_the_series(self):
+        with TELEMETRY.scope():
+            sim = build_sim()
+            sim.run(3)
+            t = TELEMETRY.active
+            before = t.snapshot()
+            sim.run(3)
+            after = t.snapshot()
+            assert set(before["counters"]) <= set(after["counters"])
+            assert set(before["sketches"]) <= set(after["sketches"])
+            for key, v in before["counters"].items():
+                assert after["counters"][key] >= v
+            for key, sk in before["sketches"].items():
+                assert after["sketches"][key]["count"] >= sk["count"]

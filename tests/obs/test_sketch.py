@@ -182,3 +182,35 @@ class TestSerialization:
         back = QuantileSketch.from_dict(sk.to_dict())
         assert back.count == 0
         assert math.isnan(back.quantile(0.5))
+
+
+class TestEmptyPercentiles:
+    """Empty-distribution semantics, unified across the stack."""
+
+    def test_percentiles_on_empty_are_all_nan(self):
+        out = QuantileSketch().percentiles(0.5, 0.95, 0.99)
+        assert set(out) == {0.5, 0.95, 0.99}
+        assert all(math.isnan(v) for v in out.values())
+
+    def test_percentiles_out_of_range_still_raises_when_empty(self):
+        with pytest.raises(ValueError):
+            QuantileSketch().percentiles(0.5, 1.5)
+
+    def test_percentiles_match_quantile_when_populated(self):
+        sk = QuantileSketch()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            sk.add(v)
+        out = sk.percentiles(0.5, 0.99)
+        assert out[0.5] == sk.quantile(0.5)
+        assert out[0.99] == sk.quantile(0.99)
+
+    def test_histogram_empty_percentile_is_nan_too(self):
+        from repro.obs.metrics import Histogram
+
+        h = Histogram("x", {}, buckets=(1.0, 2.0))
+        assert math.isnan(h.percentile(50.0))
+        assert math.isnan(h.percentile(99.0))
+        with pytest.raises(ValueError):
+            h.percentile(101.0)
+        h.observe(1.5)
+        assert not math.isnan(h.percentile(50.0))
