@@ -31,6 +31,7 @@ import ast
 import inspect
 import re
 from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.analysis.findings import AnalysisReport, Finding
@@ -787,6 +788,191 @@ def run_introspection() -> list[Finding]:
                     message=f"introspective check {check.__name__} crashed: {exc!r}",
                 )
             )
+    return findings
+
+
+# -- single-config entry (scenario fleet L1) ---------------------------------
+@dataclass(frozen=True)
+class CommProfile:
+    """The communication-relevant shape of ONE concrete configuration.
+
+    This is the library-callable face of commlint: where the AST pass
+    lints *sources* and the introspective pass lints the *default live
+    objects*, :func:`lint_config` lints one derived CommPlan/machine
+    configuration — the L1 feasibility level of the scenario fleet.
+    Geometry is the per-rank sub-box (``sub_box_edge``), ``rcomm`` the
+    communication cutoff, ``density`` the mean atom density the
+    GhostBudget prices.
+    """
+
+    label: str
+    sub_box_edge: float
+    rcomm: float
+    density: float
+    ring_depth: int = 4
+    stage_order: tuple[str, ...] = ("borders", "forward", "reverse")
+    shell_radius: int = 1
+    newton: bool = True
+    rdma: bool = False
+    window_exchange: bool = True
+    ranks_per_node: int = 4
+    cq_bindings: tuple[tuple[int, int], ...] | None = None
+
+
+def _cfg_finding(profile: CommProfile, rule: str, message: str, detail: str = "") -> Finding:
+    return Finding(
+        rule=rule,
+        path=f"<config:{profile.label}>",
+        message=message,
+        detail=detail,
+    )
+
+
+def lint_config(profile: CommProfile) -> list[Finding]:
+    """Run the CL001–CL008 feasibility rules on one configuration.
+
+    Returns the (possibly empty) finding list; never raises on an
+    infeasible profile — infeasibility IS the finding.
+    """
+    from repro.core import patterns
+    from repro.core.comm_plan import BufferPool
+    from repro.core.ghost import GhostBudget, offset_volume
+    from repro.machine.params import FUGAKU
+    from repro.machine.tni import NodeNIC, TNIAllocationError
+
+    findings: list[Finding] = []
+
+    # CL001: receive-ring depth covers the border->forward->reverse chain.
+    if profile.ring_depth < MIN_RING_DEPTH:
+        findings.append(_cfg_finding(
+            profile, "CL001",
+            f"ring_depth {profile.ring_depth} < {MIN_RING_DEPTH}",
+            "a PUT from stage k+1 can land on data stage k has not consumed",
+        ))
+
+    # CL002: explicit CQ bindings (when given) must be duplicate-free.
+    if profile.cq_bindings is not None:
+        dupes = sorted(
+            {b for b in profile.cq_bindings if profile.cq_bindings.count(b) > 1}
+        )
+        if dupes:
+            findings.append(_cfg_finding(
+                profile, "CL002",
+                f"duplicated VCQ->CQ binding(s) {dupes}",
+                "a CQ is not thread-safe; every VCQ must bind a distinct CQ",
+            ))
+
+    # CL003: the node's TNIs can actually host one CQ per rank per TNI.
+    if not 1 <= profile.ranks_per_node <= 4:
+        findings.append(_cfg_finding(
+            profile, "CL003",
+            f"ranks_per_node {profile.ranks_per_node} outside [1, 4]",
+            "Fugaku runs 4 ranks per node; the fine binding is defined "
+            "for at most 4 ranks sharing 6 TNIs",
+        ))
+    else:
+        nic = NodeNIC(FUGAKU)
+        try:
+            vcq_map = nic.bind_fine(list(range(profile.ranks_per_node)))
+        except TNIAllocationError as exc:
+            findings.append(_cfg_finding(
+                profile, "CL003", f"fine VCQ binding infeasible: {exc}"
+            ))
+        else:
+            expected = profile.ranks_per_node * nic.tni_count
+            got = sum(len(v) for v in vcq_map.values())
+            if got != expected or nic.cqs_in_use() != expected:
+                findings.append(_cfg_finding(
+                    profile, "CL003",
+                    f"fine binding allocated {got} CQs, expected {expected} "
+                    f"({profile.ranks_per_node} ranks x {nic.tni_count} TNIs)",
+                ))
+
+    # CL004: declared stage order must be border -> forward -> reverse.
+    known = [s for s in profile.stage_order if s in _STAGE_ORDER]
+    if [_STAGE_ORDER[s] for s in known] != sorted(_STAGE_ORDER[s] for s in known):
+        findings.append(_cfg_finding(
+            profile, "CL004",
+            f"stage order {profile.stage_order} violates "
+            "borders -> forward -> reverse",
+            "routes are rebuilt by the border stage; forward replays them "
+            "and reverse retraces forward",
+        ))
+
+    # CL005: the stencil at this radius is Newton-symmetric.
+    if profile.shell_radius < 1:
+        findings.append(_cfg_finding(
+            profile, "CL005", f"shell_radius {profile.shell_radius} < 1"
+        ))
+    else:
+        half = set(patterns.half_shell_offsets(profile.shell_radius))
+        full = set(patterns.shell_offsets(profile.shell_radius))
+        negated = {tuple(-o for o in off) for off in half}
+        if half & negated or half | negated != full:
+            findings.append(_cfg_finding(
+                profile, "CL005",
+                f"half shell at radius {profile.shell_radius} is not the "
+                "exact Newton complement of the full shell",
+            ))
+
+    # CL006: one-sided PUTs require the border-stage window exchange.
+    if profile.rdma and not profile.window_exchange:
+        findings.append(_cfg_finding(
+            profile, "CL006",
+            "rdma enabled without the border-stage window exchange",
+            "STags are only valid after the border stage piggybacks them; "
+            "a PUT without the exchange targets a stale window",
+        ))
+
+    # CL007: geometry + analytic buffer bound.
+    if profile.sub_box_edge <= 0 or profile.rcomm <= 0 or profile.density <= 0:
+        findings.append(_cfg_finding(
+            profile, "CL007",
+            f"degenerate geometry (sub_box_edge={profile.sub_box_edge:g}, "
+            f"rcomm={profile.rcomm:g}, density={profile.density:g})",
+        ))
+        return findings  # budget math below needs positive inputs
+    if profile.rcomm > profile.shell_radius * profile.sub_box_edge:
+        findings.append(_cfg_finding(
+            profile, "CL007",
+            f"rcomm {profile.rcomm:g} exceeds stencil reach "
+            f"{profile.shell_radius} x sub-box edge {profile.sub_box_edge:g}",
+            "the ghost shell escapes the stencil: atoms beyond the "
+            "neighbor ranks can never arrive, and the analytic buffer "
+            "bound no longer dominates",
+        ))
+        return findings
+    budget = GhostBudget(
+        a=profile.sub_box_edge, r=profile.rcomm, density=profile.density
+    )
+    per_message = budget.max_atoms_per_message()
+    worst = max(
+        offset_volume(budget.a, budget.r, off) * budget.density * budget.safety
+        for off in patterns.shell_offsets(1)
+    )
+    if per_message < worst:
+        findings.append(_cfg_finding(
+            profile, "CL007",
+            f"max_atoms_per_message()={per_message} is below the analytic "
+            f"worst-case message of {worst:.1f} atoms",
+        ))
+
+    # CL008: a pool sized by this budget never grows in budget.
+    analytic = int(budget.max_ghost_atoms(False))
+    pool = BufferPool(budget)
+    buf = pool.vec(max(1, analytic // 2))
+    if buf.shape[0] < analytic:
+        findings.append(_cfg_finding(
+            profile, "CL008",
+            f"pool capacity {buf.shape[0]} is below the analytic ghost "
+            f"maximum {analytic}",
+        ))
+    pool.vec(max(1, analytic))
+    if pool.grow_events != 0:
+        findings.append(_cfg_finding(
+            profile, "CL008",
+            f"in-budget request grew the pool (grow_events={pool.grow_events})",
+        ))
     return findings
 
 

@@ -261,6 +261,10 @@ def main(argv=None) -> int:
         from repro.obs.diag import main as diag_main
 
         return diag_main(argv[1:])
+    if argv[:1] == ["scenarios"]:
+        from repro.scenarios.cli import main as scenarios_main
+
+        return scenarios_main(argv[1:])
     args = build_parser().parse_args(argv)
     from repro.obs.telemetry import TELEMETRY
 

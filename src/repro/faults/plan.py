@@ -261,3 +261,56 @@ class FaultPlan:
         """Load a plan saved by :meth:`save` (or written by hand)."""
         with open(path, encoding="utf-8") as fh:
             return cls.from_dict(json.load(fh))
+
+
+#: Per-axis plan templates the scenario fleet instantiates.  Every
+#: template is **absorbable by construction** (severity well under the
+#: default retry horizon, no fault budget), so the fault-absorption
+#: battery may assert bit-identical ghosts for any scenario built from
+#: one.  Keys are the values of the scenario ``fault`` axis.
+_TEMPLATE_FAULTS: dict[str, FaultSpec] = {
+    "drop": FaultSpec(
+        kind="drop", probability=0.3, count=4, severity=2,
+        note="lossy wire: retransmissions land within 2 polls",
+    ),
+    "delay": FaultSpec(
+        kind="delay", probability=0.5, count=6, severity=1,
+        note="late messages, one retry poll",
+    ),
+    "reorder": FaultSpec(
+        kind="reorder", probability=0.5, count=6,
+        note="mailbox arrival order scrambled",
+    ),
+    "tni-stall": FaultSpec(
+        kind="tni-stall", probability=0.25, count=4, stall=2e-6,
+        note="one TNI engine holds messages 2us",
+    ),
+    "vcq-credit": FaultSpec(
+        kind="vcq-credit", probability=1.0, count=2, stall=1e-6, credits=4,
+        note="descriptor credits exhausted every 4th injection",
+    ),
+    "inject-jitter": FaultSpec(
+        kind="inject-jitter", probability=0.5, count=8, stall=5e-7,
+        note="software injection jitter in [0, 0.5us)",
+    ),
+}
+
+#: Fault-axis values a scenario spec may use (the absorbable subset —
+#: the stale-PUT hazards are race-detector fixtures, not fleet axes).
+TEMPLATE_KINDS = tuple(_TEMPLATE_FAULTS)
+
+
+def template_plan(kind: str, seed: int = 0) -> FaultPlan:
+    """Instantiate the absorbable plan template for one fault axis value.
+
+    Raises ``ValueError`` for kinds without a template (e.g. the
+    §3.4 stale-PUT hazards, which intentionally violate absorbability).
+    """
+    spec = _TEMPLATE_FAULTS.get(kind)
+    if spec is None:
+        raise ValueError(
+            f"no plan template for fault kind {kind!r}; choose from {TEMPLATE_KINDS}"
+        )
+    plan = FaultPlan(seed=seed, faults=(spec,), note=f"fleet template: {kind}")
+    assert plan.absorbable(), f"template {kind!r} must stay absorbable"
+    return plan

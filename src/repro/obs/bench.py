@@ -42,6 +42,7 @@ import platform
 import statistics
 import sys
 import time
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 #: Versioned schema identifier checked by :func:`validate_bench_doc`.
@@ -495,17 +496,22 @@ def model_tables() -> dict:
     }
 
 
-def run_suite(
-    suite: str = "smoke",
+def run_configs(
+    configs: Sequence[BenchConfig],
+    suite: str,
     repeats: int = 3,
     label: str = "local",
     trace_dir: str | None = None,
 ) -> dict:
-    """Run a declared suite; returns the ``repro-bench/1`` document."""
-    if suite not in SUITES:
-        raise ValueError(f"unknown suite {suite!r}; choose from {sorted(SUITES)}")
+    """Run an explicit config list; returns the ``repro-bench/1`` doc.
+
+    This is the suite-agnostic core ``run_suite`` and ``bench fleet``
+    share: the ``suite`` string only labels the artifact (fleet runs use
+    ``"fleet:<spec-name>"``), the gating machinery (``compare``,
+    per-group tolerances) works on the document either way.
+    """
     runs = []
-    for cfg in SUITES[suite]:
+    for cfg in configs:
         record, (tracer, cp) = run_config(cfg, repeats)
         runs.append(record)
         if trace_dir is not None:
@@ -552,6 +558,43 @@ def run_suite(
         doc["telemetry_guard"] = telemetry_overhead_guard(repeats)
     validate_bench_doc(doc)
     return doc
+
+
+def run_suite(
+    suite: str = "smoke",
+    repeats: int = 3,
+    label: str = "local",
+    trace_dir: str | None = None,
+) -> dict:
+    """Run a declared suite; returns the ``repro-bench/1`` document."""
+    if suite not in SUITES:
+        raise ValueError(f"unknown suite {suite!r}; choose from {sorted(SUITES)}")
+    return run_configs(SUITES[suite], suite, repeats, label, trace_dir)
+
+
+def fleet_configs(spec_path: str) -> tuple[str, list[BenchConfig]]:
+    """(spec name, BenchConfigs) of a spec's ``bench``-role scenarios.
+
+    Imported lazily so the scenarios package never cycles with bench.
+    """
+    from repro.scenarios.spec import expand_spec, load_json
+
+    spec = load_json(spec_path)
+    scenarios = [s for s in expand_spec(spec) if s["role"] == "bench"]
+    if not scenarios:
+        raise ValueError(f"{spec_path}: spec has no bench-role scenarios")
+    configs = [
+        BenchConfig(
+            potential=s["params"]["potential"],
+            pattern=s["params"]["pattern"],
+            grid=tuple(s["params"]["grid"]),
+            rdma=bool(s["params"]["rdma"]),
+            cells=tuple(s["params"]["cells"]),
+            steps=int(s["params"]["steps"]),
+        )
+        for s in scenarios
+    ]
+    return spec["name"], configs
 
 
 # -- schema ---------------------------------------------------------------
@@ -1091,6 +1134,25 @@ def build_parser() -> argparse.ArgumentParser:
         "tracks) per configuration into this directory",
     )
 
+    flt = sub.add_parser(
+        "fleet",
+        help="run the bench-role scenarios of a scenario spec "
+        "(repro-scenario-spec/1) and optionally gate vs a baseline",
+    )
+    flt.add_argument("spec", help="path to a repro-scenario-spec/1 JSON file")
+    flt.add_argument("--out", required=True, help="output artifact path")
+    flt.add_argument("--repeats", type=int, default=3)
+    flt.add_argument("--label", default=None, help="artifact label (default: out stem)")
+    flt.add_argument(
+        "--baseline", default=None,
+        help="also compare against this BENCH artifact (reuses the "
+        "per-group gating; exit 1 on regression)",
+    )
+    flt.add_argument("--warn-only", action="store_true",
+                     help="with --baseline: report regressions but exit 0")
+    flt.add_argument("--trace-dir", default=None,
+                     help="write one Perfetto trace per configuration")
+
     cmp_ = sub.add_parser("compare", help="diff two artifacts; exit 1 on regression")
     cmp_.add_argument("baseline")
     cmp_.add_argument("candidate")
@@ -1172,6 +1234,41 @@ def main(argv=None) -> int:
                 print("FAIL: telemetry plane is not cheap enough")
                 return 1
         return 0
+    if args.command == "fleet":
+        label = args.label
+        if label is None:
+            stem = args.out.rsplit("/", 1)[-1]
+            label = stem[:-5] if stem.endswith(".json") else stem
+        try:
+            spec_name, configs = fleet_configs(args.spec)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}")
+            return 2
+        doc = run_configs(
+            configs, f"fleet:{spec_name}", args.repeats, label, args.trace_dir
+        )
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"# bench fleet: {len(doc['runs'])} configs from {spec_name} "
+              f"-> {args.out} (schema {SCHEMA})")
+        print(render_report(doc))
+        if args.baseline is None:
+            return 0
+        try:
+            report = compare(_load(args.baseline), doc)
+        except ValueError as exc:
+            print(f"error: {exc}")
+            return 2
+        print(report.render())
+        if not report.ok:
+            if args.warn_only:
+                print("WARN: regressions found (ignored: --warn-only)")
+                return 0
+            print("FAIL: perf regression beyond tolerance")
+            return 1
+        print("OK: no regressions beyond tolerance")
+        return 0
     if args.command == "compare":
         overrides = {}
         for spec in args.tol:
@@ -1185,7 +1282,7 @@ def main(argv=None) -> int:
                 _load(args.baseline), _load(args.candidate),
                 tolerances=overrides, gate_wall=args.gate_wall,
             )
-        except ValueError as exc:
+        except (OSError, ValueError) as exc:
             print(f"error: {exc}")
             return 2
         print(report.render(verbose=args.verbose))

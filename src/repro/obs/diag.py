@@ -580,8 +580,21 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     try:
-        _, old_doc = load_artifact(args.old)
-        _, new_doc = load_artifact(args.new)
+        old_kind, old_doc = load_artifact(args.old)
+        new_kind, new_doc = load_artifact(args.new)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"diag: {exc}", file=sys.stderr)
+        return 2
+    if old_kind != new_kind:
+        # A kind mismatch is a *failed check* on valid inputs, not a
+        # usage error: name the check and exit 1 (no traceback).
+        print(
+            f"diag: FAILED kind-match — cannot diag across kinds: "
+            f"{args.old} is {old_kind!r}, {args.new} is {new_kind!r}",
+            file=sys.stderr,
+        )
+        return 1
+    try:
         report = diagnose(old_doc, new_doc, old_label=args.old,
                           new_label=args.new)
     except (OSError, ValueError, KeyError) as exc:

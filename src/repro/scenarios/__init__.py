@@ -1,0 +1,62 @@
+"""Declarative scenario fleet: spec-driven generation + L0–L3 validation.
+
+See :mod:`repro.scenarios.spec` for the schema, ``docs/scenarios.md``
+for the user guide, and ``tests/scenarios/`` for the pytest bridge.
+"""
+
+from repro.scenarios.corespec import core_spec, dumps_core_spec
+from repro.scenarios.registry import (
+    FLEET_ENV,
+    bench_scenarios,
+    default_fleet,
+    differential_scenarios,
+    fault_scenarios,
+    fleet_mode,
+    legacy_equivalence_configs,
+    model_scenarios,
+    scenario_ids,
+    scenarios_by_role,
+)
+from repro.scenarios.spec import (
+    FLEET_SCHEMA,
+    SCENARIO_SCHEMA,
+    SPEC_SCHEMA,
+    SpecError,
+    dumps_fleet,
+    expand_spec,
+    fleet_doc,
+    validate_spec,
+)
+from repro.scenarios.validate import (
+    FleetValidation,
+    ValidationIssue,
+    validate_fleet,
+    validate_scenario,
+)
+
+__all__ = [
+    "FLEET_ENV",
+    "FLEET_SCHEMA",
+    "SCENARIO_SCHEMA",
+    "SPEC_SCHEMA",
+    "FleetValidation",
+    "SpecError",
+    "ValidationIssue",
+    "bench_scenarios",
+    "core_spec",
+    "default_fleet",
+    "differential_scenarios",
+    "dumps_core_spec",
+    "dumps_fleet",
+    "expand_spec",
+    "fault_scenarios",
+    "fleet_doc",
+    "fleet_mode",
+    "legacy_equivalence_configs",
+    "model_scenarios",
+    "scenario_ids",
+    "scenarios_by_role",
+    "validate_fleet",
+    "validate_scenario",
+    "validate_spec",
+]

@@ -1,0 +1,177 @@
+"""Turn scenario documents into live systems, worlds, and simulations.
+
+These builders are the single source of the randomized systems the
+differential suites (and the fleet's L3 smoke level) run on.  They were
+lifted verbatim from ``tests/differential/test_exchange_equivalence.py``
+so the registry-driven suites drive **bit-identical** systems to the
+legacy hand-written 24-config lists: same RNG stream, same scatter, same
+per-rank atom order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def random_system(n_atoms: int, seed: int, box_edge: float = 9.0):
+    """The legacy randomized system: uniform positions, drift-free
+    normal velocities, cubic box."""
+    from repro.md import Box
+
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0.0, box_edge, size=(n_atoms, 3))
+    v = rng.normal(0.0, 0.3, size=(n_atoms, 3))
+    v -= v.mean(axis=0)
+    return x, v, Box((0, 0, 0), (box_edge,) * 3)
+
+
+def build_world(grid, x, v, box_edge: float = 9.0):
+    """Scatter one system over a rank grid (legacy-identical order)."""
+    from repro.md import Box, Domain
+    from repro.md.atoms import Atoms
+    from repro.runtime import World
+
+    world = World(int(np.prod(grid)), grid=tuple(grid))
+    box = Box((0, 0, 0), (box_edge,) * 3)
+    domain = Domain(box, tuple(grid))
+    tags = np.arange(x.shape[0], dtype=np.int64)
+    groups = domain.scatter(x)
+    for rank in range(world.size):
+        idx = groups.get(world.grid_pos_of(rank), np.empty(0, dtype=np.intp))
+        atoms = Atoms()
+        atoms.set_local(x[idx], v[idx], tags[idx])
+        world.ranks[rank].state["atoms"] = atoms
+    return world, domain
+
+
+def scenario_system(scenario: dict):
+    """``(x, v, box)`` for one executable scenario document."""
+    p = scenario["params"]
+    return random_system(
+        int(p["atoms"]), int(scenario["seed"]), float(p["box_edge"])
+    )
+
+
+def scenario_world(scenario: dict):
+    """``(world, domain, x, v, box)`` for one executable scenario."""
+    p = scenario["params"]
+    x, v, box = scenario_system(scenario)
+    world, domain = build_world(p["grid"], x, v, float(p["box_edge"]))
+    return world, domain, x, v, box
+
+
+def scenario_exchange(scenario: dict, pattern: str = "p2p"):
+    """A border-exchanged ghost exchange for one executable scenario."""
+    from repro.core import FineGrainedP2PExchange, P2PExchange, ThreeStageExchange
+
+    p = scenario["params"]
+    rcomm = float(p["cutoff"]) + float(p.get("skin", 0.3))
+    world, domain, _, _, _ = scenario_world(scenario)
+    if pattern == "3stage":
+        ex = ThreeStageExchange(world, domain, rcomm=rcomm)
+    elif pattern == "parallel-p2p":
+        ex = FineGrainedP2PExchange(
+            world, domain, rcomm=rcomm, newton=bool(p.get("newton", True))
+        )
+    else:
+        ex = P2PExchange(world, domain, rcomm=rcomm, newton=bool(p.get("newton", True)))
+    ex.borders()
+    return ex
+
+
+def scenario_simulation(scenario: dict, pattern: str | None = None):
+    """A ready-to-run :class:`~repro.md.simulation.Simulation`."""
+    from repro import LennardJones, Simulation, SimulationConfig
+
+    p = scenario["params"]
+    if pattern is None:
+        pattern = (p.get("patterns") or ["parallel-p2p"])[0]
+    cfg = SimulationConfig(
+        dt=float(p.get("dt", 0.002)),
+        skin=float(p.get("skin", 0.3)),
+        pattern=pattern,
+        rdma=bool(p.get("rdma", False)),
+        neighbor_every=int(p.get("neighbor_every", 3)),
+        newton=bool(p.get("newton", True)),
+        shell_radius=int(p.get("shell_radius", 1)),
+    )
+    x, v, box = scenario_system(scenario)
+    return Simulation(
+        x, v, box,
+        LennardJones(cutoff=float(p["cutoff"])),
+        cfg, grid=tuple(p["grid"]),
+    )
+
+
+def model_workload(scenario: dict):
+    """The perfmodel :class:`~repro.perfmodel.stagemodel.Workload` a
+    ``model``-role scenario prices."""
+    import dataclasses
+
+    from repro.figures.fig13 import eam_workload, lj_workload
+
+    p = scenario["params"]
+    base = lj_workload() if p["potential"] == "lj" else eam_workload()
+    return dataclasses.replace(
+        base,
+        newton=bool(p.get("newton", base.newton)),
+        shell_radius=int(p.get("shell_radius", base.shell_radius)),
+    )
+
+
+def ghost_set(exchange, rank: int):
+    """The ghost region as a set of (tag, exact position) pairs."""
+    atoms = exchange.atoms_of(rank)
+    return {
+        (int(tag), pos.tobytes())
+        for tag, pos in zip(atoms.tag[atoms.nlocal:], atoms.x[atoms.nlocal:])
+    }
+
+
+def min_sub_box_edge(scenario: dict) -> float:
+    """Smallest per-rank sub-box edge of an executable scenario."""
+    p = scenario["params"]
+    return min(float(p["box_edge"]) / g for g in p["grid"])
+
+
+def scenario_density(scenario: dict) -> float:
+    """Mean number density of an executable scenario's box."""
+    p = scenario["params"]
+    return float(p["atoms"]) / float(p["box_edge"]) ** 3
+
+
+def scenario_rcomm(scenario: dict) -> float:
+    """Communication cutoff (force cutoff + skin)."""
+    p = scenario["params"]
+    return float(p["cutoff"]) + float(p.get("skin", 0.3))
+
+
+def model_geometry(scenario: dict) -> tuple[float, float, float]:
+    """``(sub_edge, rcomm, density)`` for a ``model``-role scenario.
+
+    Derived from the paper workloads: the per-rank sub-box edge follows
+    from atoms-per-rank at the scenario's node count and the workload's
+    reduced density.
+    """
+    w = model_workload(scenario)
+    ranks = int(scenario["params"]["nodes"]) * 4  # 4 ranks/node on Fugaku
+    atoms_per_rank = max(1.0, w.natoms / ranks)
+    sub_edge = (atoms_per_rank / w.density) ** (1.0 / 3.0)
+    return sub_edge, w.rcomm, w.density
+
+
+def bench_geometry(scenario: dict) -> tuple[float, float, float]:
+    """``(sub_edge, rcomm, density)`` for a ``bench``-role scenario.
+
+    FCC lattice: 4 atoms per unit cell; the preset's cell edge fixes
+    both the density and the box extent per axis.
+    """
+    from repro.md.presets import PRESETS
+
+    p = scenario["params"]
+    preset = PRESETS[p["potential"]]
+    cell = preset.cell_edge()
+    density = 4.0 / cell**3
+    rcomm = preset.cutoff + preset.skin
+    sub_edge = min(cell * c / g for c, g in zip(p["cells"], p["grid"]))
+    return sub_edge, rcomm, density

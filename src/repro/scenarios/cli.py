@@ -1,0 +1,130 @@
+"""``python -m repro scenarios`` — generate | list | validate.
+
+Exit codes: 0 success, 1 validation rejections (every rejection prints
+the failing check and a fixing hint), 2 usage / IO / malformed input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.scenarios.spec import (
+    SPEC_SCHEMA,
+    SpecError,
+    dumps_fleet,
+    expand_spec,
+    load_json,
+    validate_spec,
+)
+from repro.scenarios.validate import LEVELS, validate_fleet
+
+
+def _load_spec(path: str) -> dict:
+    """Load + structurally validate a spec; malformed specs raise
+    :class:`SpecError` after printing every failing check (exit 1)."""
+    import json
+
+    try:
+        doc = load_json(path)
+    except json.JSONDecodeError as exc:
+        print(f"scenarios: {path} is not a valid {SPEC_SCHEMA} spec:",
+              file=sys.stderr)
+        print(f"  FAILED json-parse: {exc}", file=sys.stderr)
+        raise SpecError("1 spec issue(s)") from exc
+    issues = validate_spec(doc)
+    if issues:
+        print(f"scenarios: {path} is not a valid {SPEC_SCHEMA} spec:",
+              file=sys.stderr)
+        for issue in issues:
+            print(f"  FAILED {issue}", file=sys.stderr)
+        raise SpecError(f"{len(issues)} spec issue(s)")
+    return doc
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    """Expand a spec, validate every scenario, write the fleet artifact."""
+    spec = _load_spec(args.spec)
+    scenarios = expand_spec(spec)
+    result = validate_fleet(scenarios, level=args.level)
+    if not result.ok:
+        print(result.render(), file=sys.stderr)
+        return 1
+    text = dumps_fleet(spec, scenarios)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+    else:
+        sys.stdout.write(text)
+    sampled = sum(1 for s in scenarios if s["tier"] == "sampled")
+    print(
+        f"scenarios: generated {len(scenarios)} validated configs "
+        f"({sampled} sampled tier) from {spec['name']} at {args.level}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    """Print the expanded scenario ids (filterable by role/tier)."""
+    spec = _load_spec(args.spec)
+    scenarios = expand_spec(spec)
+    for s in scenarios:
+        if args.role and s["role"] != args.role:
+            continue
+        if args.tier and s["tier"] != args.tier:
+            continue
+        print(f"{s['id']}  role={s['role']} tier={s['tier']} seed={s['seed']}")
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    """Validate a spec's expansion; exit 1 listing every rejection."""
+    spec = _load_spec(args.spec)
+    scenarios = expand_spec(spec)
+    result = validate_fleet(scenarios, level=args.level)
+    print(result.render(), file=sys.stderr if not result.ok else sys.stdout)
+    return 0 if result.ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (0 ok, 1 validation rejection, 2 usage/IO)."""
+    parser = argparse.ArgumentParser(
+        prog="repro scenarios",
+        description="spec-driven scenario fleet: generate, list, validate",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="expand + validate a spec into a fleet")
+    gen.add_argument("spec", help="path to a repro-scenario-spec/1 JSON file")
+    gen.add_argument("-o", "--out", help="write the fleet JSON here (default stdout)")
+    gen.add_argument("--level", choices=LEVELS, default="L2",
+                     help="validation level applied to every scenario")
+    gen.set_defaults(fn=cmd_generate)
+
+    lst = sub.add_parser("list", help="print the expanded scenario ids")
+    lst.add_argument("spec")
+    lst.add_argument("--role", choices=("equivalence", "fault", "model", "bench"))
+    lst.add_argument("--tier", choices=("sampled", "full"))
+    lst.set_defaults(fn=cmd_list)
+
+    val = sub.add_parser("validate", help="validate a spec's expansion")
+    val.add_argument("spec")
+    val.add_argument("--level", choices=LEVELS, default="L2")
+    val.set_defaults(fn=cmd_validate)
+
+    args = parser.parse_args(argv)
+    try:
+        return int(args.fn(args))
+    except SpecError as exc:
+        # Malformed specs are a *validation* failure: the failing checks
+        # were already printed, so report the tally and exit 1.
+        print(f"scenarios: {exc}", file=sys.stderr)
+        return 1
+    except (OSError, ValueError) as exc:
+        print(f"scenarios: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,114 @@
+"""The scenario registry: the one config source the test suites consume.
+
+The differential equivalence suite, the telemetry/rankprof on-off
+differential suites, and the fault-absorption battery all parametrize
+over slices of :func:`default_fleet` — the expansion of the committed
+``fleet-core`` spec — instead of hand-written config lists.
+
+Tier selection is driven by the ``REPRO_FLEET`` environment variable:
+
+==========  ==========================================================
+(unset)     the full differential grid per regime (identical coverage
+            to the legacy hand-written 24-config lists)
+sampled     the deterministic ~48-config CI tier (24 off + 12
+            telemetry + 12 rankprof)
+full        everything, including the tests behind the ``fleet_full``
+            marker
+==========  ==========================================================
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+from repro.scenarios.corespec import core_spec
+from repro.scenarios.spec import expand_spec
+
+FLEET_ENV = "REPRO_FLEET"
+_REGIMES = ("off", "telemetry", "rankprof")
+
+
+def fleet_mode() -> str:
+    """Current tier: ``default`` | ``sampled`` | ``full``."""
+    mode = os.environ.get(FLEET_ENV, "default").strip().lower() or "default"
+    if mode not in ("default", "sampled", "full"):
+        raise ValueError(
+            f"{FLEET_ENV}={mode!r} invalid; use 'sampled' or 'full' (or unset)"
+        )
+    return mode
+
+
+@lru_cache(maxsize=1)
+def default_fleet() -> tuple[dict, ...]:
+    """The expanded ``fleet-core`` spec (cached; treat as read-only)."""
+    return tuple(expand_spec(core_spec()))
+
+
+def scenarios_by_role(role: str) -> list[dict]:
+    """Every fleet scenario of one role."""
+    return [s for s in default_fleet() if s["role"] == role]
+
+
+def differential_scenarios(regime: str = "off") -> list[dict]:
+    """Equivalence scenarios for one observability regime, tier-filtered.
+
+    With ``REPRO_FLEET`` unset every regime returns its full 24-config
+    grid (the legacy coverage); ``sampled`` keeps telemetry/rankprof at
+    their 12-config CI quota; ``full`` is identical to the default for
+    equivalence blocks (their full tier IS the 24 grid).
+    """
+    if regime not in _REGIMES:
+        raise ValueError(f"unknown regime {regime!r}; choose from {_REGIMES}")
+    rows = [
+        s for s in scenarios_by_role("equivalence")
+        if s["params"].get("observability", "off") == regime
+    ]
+    if fleet_mode() == "sampled":
+        rows = [s for s in rows if s["tier"] == "sampled"]
+    return rows
+
+
+def fault_scenarios() -> list[dict]:
+    """Fault-plane scenarios, tier-filtered (sampled unless full)."""
+    rows = scenarios_by_role("fault")
+    if fleet_mode() != "full":
+        rows = [s for s in rows if s["tier"] == "sampled"]
+    return rows
+
+
+def model_scenarios() -> list[dict]:
+    """Analytic model-sweep scenarios, tier-filtered."""
+    rows = scenarios_by_role("model")
+    if fleet_mode() != "full":
+        rows = [s for s in rows if s["tier"] == "sampled"]
+    return rows
+
+
+def bench_scenarios() -> list[dict]:
+    """Bench-role scenarios (always the whole block; it is small)."""
+    return scenarios_by_role("bench")
+
+
+def legacy_equivalence_configs() -> list[tuple[tuple[int, int, int], float, bool]]:
+    """The deleted hand-written 24-config list, reconstructed.
+
+    The registry-refactor proof: every one of these (grid, cutoff,
+    newton) triples — with the legacy box edge, atom count, skin, and
+    seed — must appear in the generated fleet.
+    """
+    import itertools
+
+    from repro.scenarios.corespec import LEGACY_CUTOFFS, LEGACY_GRIDS
+
+    return [
+        (grid, cutoff, newton)
+        for grid, cutoff, newton in itertools.product(
+            LEGACY_GRIDS, LEGACY_CUTOFFS, (True, False)
+        )
+    ]
+
+
+def scenario_ids(scenarios: list[dict]) -> list[str]:
+    """Stable pytest parametrize ids for a scenario list."""
+    return [s["id"] for s in scenarios]

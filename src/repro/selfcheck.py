@@ -162,6 +162,7 @@ def run_selfcheck(
     _analysis_checks(report, x, v, box)
     _telemetry_checks(report, x, v, box, steps=max(steps // 2, 5))
     _scaling_observatory_checks(report, x, v, box)
+    _fleet_checks(report)
     if fault_plan is not None:
         _fault_checks(report, x, v, box, fault_plan)
     return report
@@ -686,6 +687,102 @@ def _ghost_digest(sim: Simulation) -> str:
         h.update(atoms.x[atoms.nlocal : atoms.ntotal].tobytes())
         h.update(atoms.tag[atoms.nlocal : atoms.ntotal].tobytes())
     return h.hexdigest()
+
+
+def _fleet_checks(report: SelfCheckReport) -> None:
+    """Scenario-fleet battery: the spec-driven registry is trustworthy.
+
+    Five checks pin the generator the differential/fault/bench gates
+    parametrize over: deterministic >= 200-config expansion, the legacy
+    hand-written 24-config grid provably embedded, zero L0/L1
+    rejections fleet-wide, and one executable smoke per consumer
+    (equivalence bit-identity across all three variants, fault template
+    absorbed bit-identically).
+    """
+    from repro.scenarios import (
+        core_spec,
+        default_fleet,
+        dumps_fleet,
+        expand_spec,
+        legacy_equivalence_configs,
+        validate_fleet,
+        validate_scenario,
+    )
+    from repro.scenarios.build import ghost_set, scenario_exchange
+
+    spec = core_spec()
+    first, second = expand_spec(spec), expand_spec(spec)
+    ids = [s["id"] for s in first]
+    report.add(
+        "fleet expansion deterministic, duplicate-free, >= 200 configs",
+        len(first) >= 200
+        and len(set(ids)) == len(ids)
+        and dumps_fleet(spec, first) == dumps_fleet(spec, second),
+        f"{len(first)} scenarios, {len(set(ids))} distinct ids",
+    )
+
+    fleet = default_fleet()
+    by_key = {
+        (tuple(s["params"]["grid"]), s["params"]["cutoff"], s["params"]["newton"]): s
+        for s in fleet
+        if s["role"] == "equivalence" and s["params"]["observability"] == "off"
+    }
+    legacy = legacy_equivalence_configs()
+    missing = [k for k in legacy if k not in by_key]
+    grids = [k[0] for k in legacy[::6]]  # axis order of the legacy grid list
+    seed_mismatch = [
+        k for k in legacy
+        if k in by_key
+        and by_key[k]["seed"]
+        != 1000 * grids.index(k[0]) + int(100 * k[1]) + (1 if k[2] else 0)
+    ]
+    report.add(
+        "legacy 24-config grid embedded in the fleet (same seeds)",
+        not missing and not seed_mismatch and len(legacy) == 24,
+        f"{len(legacy) - len(missing)}/{len(legacy)} present, "
+        f"{len(seed_mismatch)} seed mismatch(es)",
+    )
+
+    l1 = validate_fleet(list(fleet), level="L1")
+    report.add(
+        "whole fleet passes L0+L1 (schema + commlint feasibility)",
+        l1.ok,
+        f"{l1.checked} checked, {len(l1.issues)} issue(s)",
+    )
+
+    sampled_eq = next(
+        s for s in fleet
+        if s["role"] == "equivalence" and s["params"]["observability"] == "off"
+    )
+    exchanges = {
+        p: scenario_exchange(sampled_eq, p) for p in ("p2p", "parallel-p2p", "3stage")
+    }
+    nranks = int(np.prod(sampled_eq["params"]["grid"]))
+    fine_equal = all(
+        np.array_equal(
+            exchanges["p2p"].atoms_of(r).x, exchanges["parallel-p2p"].atoms_of(r).x
+        )
+        for r in range(nranks)
+    )
+    shell_contains = all(
+        ghost_set(exchanges["p2p"], r) <= ghost_set(exchanges["3stage"], r)
+        for r in range(nranks)
+    )
+    report.add(
+        "fleet equivalence scenario: variants agree bit-identically",
+        fine_equal and shell_contains,
+        f"{sampled_eq['id']} over {nranks} rank(s)",
+    )
+
+    fault_scenario = next(
+        s for s in fleet if s["role"] == "fault" and s["tier"] == "sampled"
+    )
+    issues = validate_scenario(fault_scenario, level="L3")
+    report.add(
+        "fleet fault scenario: template plan absorbed bit-identically",
+        not issues,
+        issues[0].render() if issues else fault_scenario["id"],
+    )
 
 
 def _fault_checks(

@@ -1,85 +1,92 @@
 """Differential equivalence of the three exchange variants.
 
-Randomized domains and cutoffs, both Newton modes, >= 20 configurations:
-the fine-grained parallel-p2p exchange must be **bit-identical** to the
-coarse p2p exchange (same ghost arrays in the same order), the 3-stage
-full shell must contain every p2p half-shell ghost (and exactly equal it
-with Newton off), and one integration step under each pattern must
-produce the same forces.
+Registry-driven: the configurations come from the generated scenario
+fleet (``repro.scenarios``, block ``equivalence-off`` of the committed
+``fleet-core`` spec) instead of a hand-written list.  The fleet embeds
+the legacy 24-config grid — 4 rank grids x 3 cutoffs x 2 Newton modes
+with the same seeds, box, and atom count — and
+:class:`TestLegacyCoverage` proves it, so this refactor cannot silently
+shrink coverage.
+
+The invariants are unchanged: the fine-grained parallel-p2p exchange
+must be **bit-identical** to the coarse p2p exchange (same ghost arrays
+in the same order), the 3-stage full shell must contain every p2p
+half-shell ghost (and exactly equal it with Newton off), and one
+integration step under each pattern must produce the same forces.
 
 This is the reference suite the fault-injection selfcheck leans on: if
 the variants ever drift apart fault-free, a "faults absorbed, ghosts
 identical" claim would be vacuous.
 """
 
-import itertools
-
 import numpy as np
 import pytest
 
 from repro import LennardJones, Simulation, SimulationConfig
 from repro.core import FineGrainedP2PExchange, P2PExchange, ThreeStageExchange
-from repro.md import Box, Domain
-from repro.md.atoms import Atoms
-from repro.runtime import World
+from repro.scenarios import (
+    differential_scenarios,
+    legacy_equivalence_configs,
+    scenario_ids,
+)
+from repro.scenarios.build import build_world, ghost_set, random_system
 
-GRIDS = [(1, 1, 1), (2, 1, 1), (2, 2, 1), (2, 2, 2)]
-CUTOFFS = [1.3, 1.55, 1.8]
-SKIN = 0.3
-BOX_EDGE = 9.0  # min sub-box edge 4.5 >= max rcomm 2.1
-
-#: grid x cutoff x newton = 24 configurations (>= 20 required).
-CONFIGS = list(itertools.product(range(len(GRIDS)), CUTOFFS, (True, False)))
+SCENARIOS = differential_scenarios("off")
 
 
-def random_system(n_atoms: int, seed: int):
-    rng = np.random.default_rng(seed)
-    x = rng.uniform(0.0, BOX_EDGE, size=(n_atoms, 3))
-    # Push overlapping pairs apart so LJ forces stay finite but keep the
-    # distribution irregular (uneven per-rank borders).
-    v = rng.normal(0.0, 0.3, size=(n_atoms, 3))
-    v -= v.mean(axis=0)
-    return x, v, Box((0, 0, 0), (BOX_EDGE,) * 3)
+def unpack(scenario):
+    """(grid, rcomm, cutoff, newton, seed, atoms, box_edge) of one scenario."""
+    p = scenario["params"]
+    return (
+        tuple(p["grid"]),
+        float(p["cutoff"]) + float(p["skin"]),
+        float(p["cutoff"]),
+        bool(p["newton"]),
+        int(scenario["seed"]),
+        int(p["atoms"]),
+        float(p["box_edge"]),
+    )
 
 
-def build_world(grid, x, v):
-    world = World(int(np.prod(grid)), grid=grid)
-    box = Box((0, 0, 0), (BOX_EDGE,) * 3)
-    domain = Domain(box, grid)
-    tags = np.arange(x.shape[0], dtype=np.int64)
-    groups = domain.scatter(x)
-    for rank in range(world.size):
-        idx = groups.get(world.grid_pos_of(rank), np.empty(0, dtype=np.intp))
-        atoms = Atoms()
-        atoms.set_local(x[idx], v[idx], tags[idx])
-        world.ranks[rank].state["atoms"] = atoms
-    return world, domain
+class TestLegacyCoverage:
+    def test_legacy_24_configs_are_a_subset_of_the_fleet(self):
+        """The deleted hand-written list is provably embedded.
 
+        Every legacy (grid, cutoff, newton) triple must appear in the
+        registry slice this suite parametrizes over, with the legacy
+        seed formula, box edge, atom count, and skin — i.e. the exact
+        same randomized systems the old suite built.
+        """
+        legacy = legacy_equivalence_configs()
+        assert len(legacy) == 24
+        grids = [k[0] for k in legacy[::6]]
+        by_key = {
+            (tuple(s["params"]["grid"]), s["params"]["cutoff"],
+             s["params"]["newton"]): s
+            for s in SCENARIOS
+        }
+        for grid, cutoff, newton in legacy:
+            s = by_key[(grid, cutoff, newton)]
+            assert s["seed"] == (
+                1000 * grids.index(grid) + int(100 * cutoff) + (1 if newton else 0)
+            )
+            assert s["params"]["box_edge"] == 9.0
+            assert s["params"]["atoms"] == 150
+            assert s["params"]["skin"] == 0.3
 
-def ghost_set(exchange, rank):
-    """The ghost region as a set of (tag, exact position) pairs."""
-    atoms = exchange.atoms_of(rank)
-    return {
-        (int(tag), pos.tobytes())
-        for tag, pos in zip(atoms.tag[atoms.nlocal :], atoms.x[atoms.nlocal :])
-    }
-
-
-def config_seed(grid_idx, cutoff, newton) -> int:
-    return 1000 * grid_idx + int(100 * cutoff) + (1 if newton else 0)
+    def test_fleet_slice_is_at_least_the_legacy_grid(self):
+        assert len(SCENARIOS) >= 24
 
 
 class TestGhostEquivalence:
-    @pytest.mark.parametrize("grid_idx,cutoff,newton", CONFIGS)
-    def test_ghost_regions_agree(self, grid_idx, cutoff, newton):
-        grid = GRIDS[grid_idx]
-        rcomm = cutoff + SKIN
-        seed = config_seed(grid_idx, cutoff, newton)
-        x, v, _ = random_system(150, seed)
+    @pytest.mark.parametrize("scenario", SCENARIOS, ids=scenario_ids(SCENARIOS))
+    def test_ghost_regions_agree(self, scenario):
+        grid, rcomm, _, newton, seed, atoms, box_edge = unpack(scenario)
+        x, v, _ = random_system(atoms, seed, box_edge)
 
-        wp, dp = build_world(grid, x, v)
-        wf, df = build_world(grid, x, v)
-        wt, dt = build_world(grid, x, v)
+        wp, dp = build_world(grid, x, v, box_edge)
+        wf, df = build_world(grid, x, v, box_edge)
+        wt, dt = build_world(grid, x, v, box_edge)
         p2p = P2PExchange(wp, dp, rcomm=rcomm, newton=newton)
         fine = FineGrainedP2PExchange(wf, df, rcomm=rcomm, newton=newton)
         three = ThreeStageExchange(wt, dt, rcomm=rcomm)
@@ -100,19 +107,19 @@ class TestGhostEquivalence:
 
 
 class TestForceEquivalence:
-    @pytest.mark.parametrize("grid_idx,cutoff,newton", CONFIGS)
-    def test_forces_after_one_step(self, grid_idx, cutoff, newton):
-        grid = GRIDS[grid_idx]
-        seed = config_seed(grid_idx, cutoff, newton)
-        x, v, box = random_system(150, seed)
+    @pytest.mark.parametrize("scenario", SCENARIOS, ids=scenario_ids(SCENARIOS))
+    def test_forces_after_one_step(self, scenario):
+        grid, _, cutoff, newton, seed, atoms, box_edge = unpack(scenario)
+        p = scenario["params"]
+        x, v, box = random_system(atoms, seed, box_edge)
         forces = {}
-        for pattern in ("parallel-p2p", "p2p", "3stage"):
+        for pattern in p["patterns"]:
             # Message plane for all three: the RDMA plane is proven
             # equivalent to it separately (tests/core/test_exchanges.py)
             # and its pre-sized buffers reject these irregular systems.
             cfg = SimulationConfig(
-                dt=0.002, skin=SKIN, pattern=pattern, rdma=False,
-                neighbor_every=3, newton=newton,
+                dt=p["dt"], skin=p["skin"], pattern=pattern, rdma=p["rdma"],
+                neighbor_every=p["neighbor_every"], newton=newton,
             )
             sim = Simulation(x, v, box, LennardJones(cutoff=cutoff), cfg, grid=grid)
             sim.run(1)
@@ -120,4 +127,5 @@ class TestForceEquivalence:
         # Fine vs coarse p2p run the identical float schedule.
         assert np.array_equal(forces["parallel-p2p"], forces["p2p"])
         # 3-stage sums in a different (but valid) order.
-        assert np.allclose(forces["3stage"], forces["p2p"], atol=1e-10)
+        atol = scenario["tolerances"].get("force_atol", 1e-10)
+        assert np.allclose(forces["3stage"], forces["p2p"], atol=atol)

@@ -3,10 +3,14 @@
 The per-rank profiler is a pure observer: it replays each rank's
 message schedule through the *model* under a scoped trace and never
 touches the exchange's functional state, plan cache, or fast-path gate.
-This re-drives the 24-configuration differential grid from
-``test_exchange_equivalence`` with the profiler interleaved mid-run
-against an unprofiled control and requires **bit-identical** ghost
-regions, forces, and positions — plus an untouched fast path.
+This drives the ``equivalence-rankprof`` slice of the generated
+scenario fleet (``repro.scenarios``) with the profiler interleaved
+mid-run against an unprofiled control and requires **bit-identical**
+ghost regions, forces, and positions — plus an untouched fast path.
+
+The fleet slice embeds the legacy hand-written 24-config grid (proven
+in ``test_exchange_equivalence.TestLegacyCoverage``); under
+``REPRO_FLEET=sampled`` a deterministic 12-config sample runs instead.
 """
 
 import numpy as np
@@ -15,33 +19,28 @@ import pytest
 from repro import LennardJones, Simulation, SimulationConfig
 from repro.core import FineGrainedP2PExchange
 from repro.obs.rankprof import profile_exchange
+from repro.scenarios import differential_scenarios, scenario_ids
+from repro.scenarios.build import build_world, random_system
 
-from tests.differential.test_exchange_equivalence import (
-    CONFIGS,
-    GRIDS,
-    SKIN,
-    build_world,
-    config_seed,
-    random_system,
-)
+from tests.differential.test_exchange_equivalence import unpack
+
+SCENARIOS = differential_scenarios("rankprof")
 
 
 class TestGhostBitIdentity:
-    @pytest.mark.parametrize("grid_idx,cutoff,newton", CONFIGS)
-    def test_ghosts_identical_with_profiler(self, grid_idx, cutoff, newton):
-        grid = GRIDS[grid_idx]
-        rcomm = cutoff + SKIN
-        seed = config_seed(grid_idx, cutoff, newton)
-        x, v, _ = random_system(150, seed)
+    @pytest.mark.parametrize("scenario", SCENARIOS, ids=scenario_ids(SCENARIOS))
+    def test_ghosts_identical_with_profiler(self, scenario):
+        grid, rcomm, _, newton, seed, atoms, box_edge = unpack(scenario)
+        x, v, _ = random_system(atoms, seed, box_edge)
 
-        w_on, d_on = build_world(grid, x, v)
+        w_on, d_on = build_world(grid, x, v, box_edge)
         ex_on = FineGrainedP2PExchange(w_on, d_on, rcomm=rcomm, newton=newton)
         ex_on.borders()
         prof = profile_exchange(ex_on, phases=("forward",))
         assert len(prof.profiles) == w_on.size
         ex_on.forward()
 
-        w_off, d_off = build_world(grid, x, v)
+        w_off, d_off = build_world(grid, x, v, box_edge)
         ex_off = FineGrainedP2PExchange(w_off, d_off, rcomm=rcomm, newton=newton)
         ex_off.borders()
         ex_off.forward()
@@ -55,14 +54,14 @@ class TestGhostBitIdentity:
 
 
 class TestForceBitIdentity:
-    @pytest.mark.parametrize("grid_idx,cutoff,newton", CONFIGS)
-    def test_forces_identical_with_profiler(self, grid_idx, cutoff, newton):
-        grid = GRIDS[grid_idx]
-        seed = config_seed(grid_idx, cutoff, newton)
-        x, v, box = random_system(150, seed)
+    @pytest.mark.parametrize("scenario", SCENARIOS, ids=scenario_ids(SCENARIOS))
+    def test_forces_identical_with_profiler(self, scenario):
+        grid, _, cutoff, newton, seed, atoms, box_edge = unpack(scenario)
+        p = scenario["params"]
+        x, v, box = random_system(atoms, seed, box_edge)
         cfg = SimulationConfig(
-            dt=0.002, skin=SKIN, pattern="parallel-p2p", rdma=False,
-            neighbor_every=3, newton=newton,
+            dt=p["dt"], skin=p["skin"], pattern="parallel-p2p", rdma=p["rdma"],
+            neighbor_every=p["neighbor_every"], newton=newton,
         )
 
         on = Simulation(x, v, box, LennardJones(cutoff=cutoff), cfg, grid=grid)

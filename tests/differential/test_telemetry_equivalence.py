@@ -1,12 +1,16 @@
 """Telemetry on vs off: bit-identical ghosts and forces, fast path kept.
 
-The always-on telemetry plane must be a pure observer.  This re-drives
-the 24-configuration differential grid from
-``test_exchange_equivalence`` with telemetry enabled against a
+The always-on telemetry plane must be a pure observer.  This drives the
+``equivalence-telemetry`` slice of the generated scenario fleet
+(``repro.scenarios``) with telemetry enabled against a
 telemetry-disabled control and requires **bit-identical** ghost regions
 and forces — the same equivalence bar the exchange variants themselves
 are held to — plus an untouched fast path (no observability gate
 refusals) while the plane is collecting.
+
+The fleet slice embeds the legacy hand-written 24-config grid (proven
+in ``test_exchange_equivalence.TestLegacyCoverage``); under
+``REPRO_FLEET=sampled`` a deterministic 12-config sample runs instead.
 """
 
 import numpy as np
@@ -15,31 +19,26 @@ import pytest
 from repro import LennardJones, Simulation, SimulationConfig
 from repro.core import FineGrainedP2PExchange
 from repro.obs.telemetry import TELEMETRY
+from repro.scenarios import differential_scenarios, scenario_ids
+from repro.scenarios.build import build_world, random_system
 
-from tests.differential.test_exchange_equivalence import (
-    CONFIGS,
-    GRIDS,
-    SKIN,
-    build_world,
-    config_seed,
-    random_system,
-)
+from tests.differential.test_exchange_equivalence import unpack
+
+SCENARIOS = differential_scenarios("telemetry")
 
 
 class TestGhostBitIdentity:
-    @pytest.mark.parametrize("grid_idx,cutoff,newton", CONFIGS)
-    def test_ghosts_identical_with_telemetry(self, grid_idx, cutoff, newton):
-        grid = GRIDS[grid_idx]
-        rcomm = cutoff + SKIN
-        seed = config_seed(grid_idx, cutoff, newton)
-        x, v, _ = random_system(150, seed)
+    @pytest.mark.parametrize("scenario", SCENARIOS, ids=scenario_ids(SCENARIOS))
+    def test_ghosts_identical_with_telemetry(self, scenario):
+        grid, rcomm, _, newton, seed, atoms, box_edge = unpack(scenario)
+        x, v, _ = random_system(atoms, seed, box_edge)
 
         with TELEMETRY.scope():
-            w_on, d_on = build_world(grid, x, v)
+            w_on, d_on = build_world(grid, x, v, box_edge)
             ex_on = FineGrainedP2PExchange(w_on, d_on, rcomm=rcomm, newton=newton)
             ex_on.borders()
         with TELEMETRY.disabled():
-            w_off, d_off = build_world(grid, x, v)
+            w_off, d_off = build_world(grid, x, v, box_edge)
             ex_off = FineGrainedP2PExchange(w_off, d_off, rcomm=rcomm, newton=newton)
             ex_off.borders()
 
@@ -51,14 +50,14 @@ class TestGhostBitIdentity:
 
 
 class TestForceBitIdentity:
-    @pytest.mark.parametrize("grid_idx,cutoff,newton", CONFIGS)
-    def test_forces_identical_with_telemetry(self, grid_idx, cutoff, newton):
-        grid = GRIDS[grid_idx]
-        seed = config_seed(grid_idx, cutoff, newton)
-        x, v, box = random_system(150, seed)
+    @pytest.mark.parametrize("scenario", SCENARIOS, ids=scenario_ids(SCENARIOS))
+    def test_forces_identical_with_telemetry(self, scenario):
+        grid, _, cutoff, newton, seed, atoms, box_edge = unpack(scenario)
+        p = scenario["params"]
+        x, v, box = random_system(atoms, seed, box_edge)
         cfg = SimulationConfig(
-            dt=0.002, skin=SKIN, pattern="parallel-p2p", rdma=False,
-            neighbor_every=3, newton=newton,
+            dt=p["dt"], skin=p["skin"], pattern="parallel-p2p", rdma=p["rdma"],
+            neighbor_every=p["neighbor_every"], newton=newton,
         )
 
         with TELEMETRY.scope():

@@ -272,3 +272,75 @@ class TestRenderOrderingAndVerdict:
                 assert sum(row["attribution"].values()) == pytest.approx(
                     row["completion"], rel=1e-9
                 )
+
+
+class TestWarnOnlyExitContract:
+    """The `bench compare --warn-only` exit-code contract, pinned.
+
+    Findings from *info-mode* groups (wall medians, per-rank imbalance)
+    are advisory: they must never turn the exit code nonzero, with or
+    without the flag.  Findings from *gated* groups (model times,
+    traffic, fig13 speedups) always exit 1 — `--warn-only` is the only
+    thing that downgrades them, and it must say so out loud.  Usage and
+    IO errors stay exit 2 regardless.
+    """
+
+    @staticmethod
+    def _paths(tmp_path, doc, bad):
+        base = tmp_path / "base.json"
+        cand = tmp_path / "cand.json"
+        base.write_text(json.dumps(doc))
+        cand.write_text(json.dumps(bad))
+        return str(base), str(cand)
+
+    def test_info_only_deviations_exit_zero_without_the_flag(
+        self, doc, tmp_path, capsys
+    ):
+        bad = copy.deepcopy(doc)
+        for run in bad["runs"]:
+            for stats in [*run["wall"]["stages"].values(), run["wall"]["total"]]:
+                for k in ("min", "max", "mean", "median"):
+                    stats[k] *= 4.0
+            imb = run.get("rankprof", {}).get("imbalance")
+            if imb:
+                imb["max_mean"] *= 3.0
+                imb["p99_p50"] *= 3.0
+        base, cand = self._paths(tmp_path, doc, bad)
+        assert bench.main(["compare", base, cand]) == 0
+        out = capsys.readouterr().out
+        assert "FAIL" not in out
+        assert "verdict: OK" in out
+
+    def test_gated_regression_always_exits_one(self, doc, tmp_path):
+        base, cand = self._paths(tmp_path, doc, regress(doc))
+        assert bench.main(["compare", base, cand]) == 1
+
+    def test_warn_only_downgrades_gated_to_zero_with_warning(
+        self, doc, tmp_path, capsys
+    ):
+        base, cand = self._paths(tmp_path, doc, regress(doc))
+        assert bench.main(["compare", base, cand, "--warn-only"]) == 0
+        out = capsys.readouterr().out
+        assert "WARN: regressions found (ignored: --warn-only)" in out
+        # The report still SAYS the verdict is FAIL; the gate line (and
+        # the exit code) are what --warn-only downgrades.
+        assert "FAIL: perf regression beyond tolerance" not in out
+
+    def test_warn_only_with_info_deviations_also_exits_zero(
+        self, doc, tmp_path
+    ):
+        bad = copy.deepcopy(doc)
+        for run in bad["runs"]:
+            for stats in [*run["wall"]["stages"].values(), run["wall"]["total"]]:
+                for k in ("min", "max", "mean", "median"):
+                    stats[k] *= 4.0
+        base, cand = self._paths(tmp_path, doc, bad)
+        assert bench.main(["compare", base, cand, "--warn-only"]) == 0
+
+    def test_warn_only_does_not_mask_usage_errors(self, doc, tmp_path):
+        base, cand = self._paths(tmp_path, doc, doc)
+        missing = str(tmp_path / "gone.json")
+        assert bench.main(["compare", missing, cand, "--warn-only"]) == 2
+        assert bench.main(
+            ["compare", base, cand, "--warn-only", "--tol", "bogus=1"]
+        ) == 2

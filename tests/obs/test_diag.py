@@ -213,10 +213,14 @@ class TestCLI:
         assert main([str(tmp_path / "gone.json"), str(there)]) == 2
         assert "diag:" in capsys.readouterr().err
 
-    def test_mismatched_kinds_exit_2(self, tmp_path, capsys):
+    def test_mismatched_kinds_print_check_and_exit_1(self, tmp_path, capsys):
         a = tmp_path / "a.json"
         b = tmp_path / "b.json"
         a.write_text(json.dumps(make_rankprof()))
         b.write_text(json.dumps({"traceEvents": []}))
-        assert main([str(a), str(b)]) == 2
-        assert "cannot diag across kinds" in capsys.readouterr().err
+        # Valid inputs failing the kind-match check: the failing check is
+        # named and the exit code is 1 (2 stays reserved for IO/usage).
+        assert main([str(a), str(b)]) == 1
+        err = capsys.readouterr().err
+        assert "FAILED kind-match" in err
+        assert "cannot diag across kinds" in err

@@ -1,0 +1,28 @@
+"""Fixtures for the scenario-fleet suites.
+
+``scenario_fleet`` is the one config source: the expanded committed
+``fleet-core`` spec.  Tests marked ``fleet_full`` only run under
+``REPRO_FLEET=full`` (the exhaustive tier); everything else runs in
+every tier.
+"""
+
+import pytest
+
+from repro.scenarios import default_fleet, fleet_mode
+
+
+def pytest_collection_modifyitems(config, items):
+    if fleet_mode() == "full":
+        return
+    skip = pytest.mark.skip(
+        reason="full-fleet tier only: set REPRO_FLEET=full to run"
+    )
+    for item in items:
+        if "fleet_full" in item.keywords:
+            item.add_marker(skip)
+
+
+@pytest.fixture(scope="session")
+def scenario_fleet():
+    """The expanded fleet-core spec (read-only tuple of scenarios)."""
+    return default_fleet()

@@ -1,0 +1,53 @@
+"""Executable fleet batteries: fault absorption + full-tier smoke.
+
+The sampled tier runs on every invocation; the exhaustive tier (every
+fault-plane and model-sweep scenario) sits behind the ``fleet_full``
+marker and only runs under ``REPRO_FLEET=full``.
+"""
+
+import pytest
+
+from repro.scenarios import (
+    fault_scenarios,
+    model_scenarios,
+    scenario_ids,
+    scenarios_by_role,
+    validate_scenario,
+)
+
+SAMPLED_FAULTS = fault_scenarios()
+SAMPLED_MODELS = model_scenarios()
+ALL_FAULTS = scenarios_by_role("fault")
+ALL_MODELS = scenarios_by_role("model")
+
+
+class TestSampledBattery:
+    @pytest.mark.parametrize(
+        "scenario", SAMPLED_FAULTS, ids=scenario_ids(SAMPLED_FAULTS)
+    )
+    def test_fault_scenario_absorbs_and_matches_clean_run(self, scenario):
+        """L3 on a fault scenario is the absorption battery: the plan's
+        faults are injected, every one must be absorbed by retries, and
+        the faulted forces must equal the clean run bit for bit."""
+        issues = validate_scenario(scenario, level="L3")
+        assert issues == [], "\n".join(i.render() for i in issues)
+
+    @pytest.mark.parametrize(
+        "scenario", SAMPLED_MODELS, ids=scenario_ids(SAMPLED_MODELS)
+    )
+    def test_model_scenario_prices_finite(self, scenario):
+        issues = validate_scenario(scenario, level="L2")
+        assert issues == [], "\n".join(i.render() for i in issues)
+
+
+@pytest.mark.fleet_full
+class TestFullFleet:
+    @pytest.mark.parametrize("scenario", ALL_FAULTS, ids=scenario_ids(ALL_FAULTS))
+    def test_every_fault_plane_scenario_absorbs(self, scenario):
+        issues = validate_scenario(scenario, level="L3")
+        assert issues == [], "\n".join(i.render() for i in issues)
+
+    @pytest.mark.parametrize("scenario", ALL_MODELS, ids=scenario_ids(ALL_MODELS))
+    def test_every_model_sweep_scenario_prices_finite(self, scenario):
+        issues = validate_scenario(scenario, level="L2")
+        assert issues == [], "\n".join(i.render() for i in issues)

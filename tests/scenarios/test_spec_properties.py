@@ -1,0 +1,181 @@
+"""Property-based invariants of the spec expansion pipeline.
+
+Hammered with randomly composed (but structurally valid) specs:
+
+* parse -> expand -> serialize round-trips losslessly, and the
+  serialization is byte-stable (same spec, byte-identical fleet);
+* expansion is deterministic and duplicate-free (ids and documents);
+* every scenario a valid spec generates passes its own L0–L2
+  validation — the generator can never emit a config the validator
+  would reject.
+
+Axis pools are drawn from the paper's configuration space with
+geometries that keep ``rcomm <= sub_box_edge`` so the L2 feasibility
+check is exercised, not trivially skipped.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenarios import (
+    dumps_fleet,
+    expand_spec,
+    fleet_doc,
+    validate_fleet,
+    validate_spec,
+)
+
+# Feasible-by-construction pools: box edge 9.0 with grid dims <= 3 keeps
+# every sub-box edge >= 3.0, above the largest rcomm (2.0 + 0.3 skin).
+GRID_POOL = [(1, 1, 1), (2, 1, 1), (1, 2, 1), (2, 2, 1), (2, 2, 2), (3, 1, 1)]
+CUTOFF_POOL = [1.0, 1.3, 1.55, 1.8, 2.0]
+NODES_POOL = [768, 2160, 6144, 18432, 36864]
+FAULT_POOL = ["drop", "delay", "reorder", "tni-stall", "vcq-credit", "inject-jitter"]
+
+
+def geometry(grid):
+    return {"grid": list(grid), "box_edge": 9.0, "atoms": 150}
+
+
+subset = st.lists          # alias for readability below
+
+
+@st.composite
+def equivalence_blocks(draw, name):
+    grids = draw(subset(st.sampled_from(GRID_POOL), min_size=1, max_size=3,
+                        unique=True))
+    cutoffs = draw(subset(st.sampled_from(CUTOFF_POOL), min_size=1, max_size=2,
+                          unique=True))
+    newtons = draw(st.sampled_from([[True], [False], [True, False]]))
+    sample = draw(st.one_of(st.just("all"), st.integers(0, 4)))
+    return {
+        "name": name,
+        "role": "equivalence",
+        "axes": {
+            "geometry": [geometry(g) for g in grids],
+            "cutoff": cutoffs,
+            "newton": newtons,
+        },
+        "fixed": {"observability": draw(
+            st.sampled_from(["off", "telemetry", "rankprof"]))},
+        "tolerances": {"force_atol": 1e-10},
+        "sample": sample,
+    }
+
+
+@st.composite
+def model_blocks(draw, name):
+    return {
+        "name": name,
+        "role": "model",
+        "axes": {
+            "potential": draw(st.sampled_from([["lj"], ["eam"], ["lj", "eam"]])),
+            "variant": draw(st.sampled_from([["ref"], ["opt"], ["ref", "opt"]])),
+            "nodes": draw(subset(st.sampled_from(NODES_POOL), min_size=1,
+                                 max_size=3, unique=True)),
+        },
+        "sample": draw(st.one_of(st.just("all"), st.integers(0, 3))),
+    }
+
+
+@st.composite
+def fault_blocks(draw, name):
+    return {
+        "name": name,
+        "role": "fault",
+        "axes": {
+            "geometry": [geometry(g) for g in draw(
+                subset(st.sampled_from(GRID_POOL[:4]), min_size=1, max_size=2,
+                       unique=True))],
+            "cutoff": draw(subset(st.sampled_from(CUTOFF_POOL), min_size=1,
+                                  max_size=1, unique=True)),
+            "newton": [True],
+            "fault": draw(subset(st.sampled_from(FAULT_POOL), min_size=1,
+                                 max_size=2, unique=True)),
+        },
+        "sample": 2,
+    }
+
+
+@st.composite
+def specs(draw):
+    blocks = [draw(equivalence_blocks("eq-a"))]
+    if draw(st.booleans()):
+        blocks.append(draw(model_blocks("model-a")))
+    if draw(st.booleans()):
+        blocks.append(draw(fault_blocks("fault-a")))
+    return {
+        "schema": "repro-scenario-spec/1",
+        "name": draw(st.from_regex(r"[a-z][a-z0-9-]{0,11}", fullmatch=True)),
+        "defaults": {
+            "skin": 0.3,
+            "dt": 0.002,
+            "neighbor_every": 3,
+            "steps": 2,
+            "patterns": ["parallel-p2p", "p2p", "3stage"],
+            "rdma": False,
+        },
+        "blocks": blocks,
+    }
+
+
+class TestRoundTrip:
+    @settings(max_examples=20, deadline=None)
+    @given(spec=specs())
+    def test_parse_expand_serialize_round_trips(self, spec):
+        """JSON round-trip of the spec changes nothing, and the fleet
+        artifact embeds the expansion losslessly and byte-stably."""
+        assert validate_spec(spec) == []
+        scenarios = expand_spec(spec)
+        reparsed = json.loads(json.dumps(spec))
+        assert expand_spec(reparsed) == scenarios
+
+        text = dumps_fleet(spec, scenarios)
+        doc = json.loads(text)
+        assert doc["schema"] == "repro-scenario-fleet/1"
+        assert doc["scenarios"] == scenarios
+        assert doc["count"] == len(scenarios)
+        assert doc["sampled"] == sum(
+            1 for s in scenarios if s["tier"] == "sampled")
+        # Serializing the parsed artifact again is byte-identical.
+        assert json.dumps(doc, indent=1, sort_keys=True) + "\n" == text
+        assert json.dumps(fleet_doc(spec, scenarios), indent=1,
+                          sort_keys=True) + "\n" == text
+
+    @settings(max_examples=20, deadline=None)
+    @given(spec=specs())
+    def test_expansion_is_deterministic_and_duplicate_free(self, spec):
+        first = expand_spec(spec)
+        second = expand_spec(spec)
+        assert first == second
+        assert dumps_fleet(spec, first) == dumps_fleet(spec, second)
+        ids = [s["id"] for s in first]
+        assert len(set(ids)) == len(ids)
+        assert first, "a valid spec never expands to an empty fleet"
+
+    @settings(max_examples=20, deadline=None)
+    @given(spec=specs())
+    def test_sample_quotas_bound_the_sampled_tier(self, spec):
+        scenarios = expand_spec(spec)
+        for block in spec["blocks"]:
+            members = [s for s in scenarios if s["block"] == block["name"]]
+            sampled = [s for s in members if s["tier"] == "sampled"]
+            quota = block.get("sample", "all")
+            if quota == "all":
+                assert len(sampled) == len(members)
+            else:
+                assert len(sampled) == min(quota, len(members))
+
+
+class TestSelfValidation:
+    @settings(max_examples=12, deadline=None)
+    @given(spec=specs())
+    def test_every_generated_config_passes_its_own_l0_l2(self, spec):
+        """The generator and the validator can never disagree: whatever
+        a structurally valid spec expands to sails through L0 (schema),
+        L1 (commlint feasibility), and L2 (model sanity)."""
+        result = validate_fleet(expand_spec(spec), level="L2")
+        assert result.ok, result.render()
+        assert result.rejected == 0
