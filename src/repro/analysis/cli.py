@@ -67,12 +67,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--steps", type=int, default=6,
         help="probe run length in MD steps (default 6)",
     )
+    p.add_argument(
+        "--verify", action="store_true",
+        help="also model-check the probe protocol variants (protomc P1-P4; "
+        "run `python -m repro verify` for the whole fleet)",
+    )
     p.add_argument("--json", action="store_true", help="emit the JSON report")
     p.add_argument(
         "--strict", action="store_true",
         help="exit nonzero on any finding, warnings included",
     )
     return p
+
+
+def _verify_probe() -> AnalysisReport:
+    """Model-check every probe exchange variant on a small rank grid."""
+    from repro.analysis.commlint import CommProfile
+    from repro.analysis.protomc.checker import findings_from, verify_model
+    from repro.analysis.protomc.extract import model_from_profile
+
+    report = AnalysisReport(tool="protomc")
+    results = []
+    for pattern, rdma in PROBE_VARIANTS:
+        profile = CommProfile(
+            label=f"probe/{pattern}{'+rdma' if rdma else ''}",
+            sub_box_edge=3.36, rcomm=2.8, density=0.8442, rdma=rdma,
+        )
+        results.append(verify_model(model_from_profile(profile, (2, 2, 2), pattern)))
+        report.files_analyzed.append(f"<verify:{pattern}{'+rdma' if rdma else ''}>")
+    for finding in findings_from(results):
+        report.add(finding)
+    return report
 
 
 def _dynamic_probe(plan: FaultPlan | None = None, steps: int = 6) -> AnalysisReport:
@@ -136,6 +161,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         dynamic = _dynamic_probe(plan, steps=args.steps)
     if dynamic is not None:
         combined.extend(dynamic)
+    if args.verify:
+        combined.extend(_verify_probe())
+
+    # Byte-stable output: merged findings sorted + deduped no matter
+    # which pass produced them (or in what order).
+    combined.normalize()
 
     if args.json:
         print(combined.render_json())

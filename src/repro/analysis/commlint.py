@@ -50,6 +50,8 @@ RULES: dict[str, str] = {
     "CL006": "RDMA put targets a literal/unexchanged STag or skips the window exchange (§3.4)",
     "CL007": "RDMA buffer size not derived from (or below) the analytic ghost maximum (§3.4)",
     "CL008": "pooled send buffer not dominated by the GhostBudget analytic maximum (§3.4)",
+    "CL009": "per-route in-flight capacity (ring depth x slot size) below the "
+             "worst-case burst of the send schedule (§3.4)",
 }
 
 _SUPPRESS_RE = re.compile(r"#\s*commlint:\s*disable=([A-Z0-9,\s]+)")
@@ -460,6 +462,46 @@ def _check_pool_sizing(tree: ast.Module, path: str) -> list[Finding]:
     return findings
 
 
+def _check_inflight_capacity(tree: ast.Module, path: str) -> list[Finding]:
+    """CL009: literal ring capacity vs the literal send-burst schedule.
+
+    Flags any call carrying both a literal ring depth (``ring_depth``
+    or ``depth``) and a literal ``inflight_epochs`` where the depth
+    cannot absorb one worst-case message per outstanding epoch — the
+    statically decidable shadow of :func:`lint_config`'s exact check
+    (slot size cancels when both sides count worst-case messages).
+    """
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        depth_node = None
+        epochs_node = None
+        for kw in node.keywords:
+            if kw.arg in ("ring_depth", "depth"):
+                depth_node = kw.value
+            elif kw.arg == "inflight_epochs":
+                epochs_node = kw.value
+        depth = _literal_int(depth_node)
+        epochs = _literal_int(epochs_node)
+        if depth is None or epochs is None:
+            continue
+        if depth < epochs:
+            findings.append(
+                Finding(
+                    rule="CL009",
+                    path=path,
+                    line=node.lineno,
+                    message=f"ring depth {depth} cannot absorb "
+                    f"{epochs} outstanding send epoch(s) per route",
+                    detail="each un-drained stage epoch holds one worst-case "
+                    "message per route in flight; capacity must cover the "
+                    "burst (paper §3.4)",
+                )
+            )
+    return findings
+
+
 _STATIC_RULES = (
     _check_ring_depth,
     _check_duplicate_bindings,
@@ -468,6 +510,7 @@ _STATIC_RULES = (
     _check_rdma_targets,
     _check_buffer_sizing,
     _check_pool_sizing,
+    _check_inflight_capacity,
 )
 
 
@@ -816,6 +859,11 @@ class CommProfile:
     rdma: bool = False
     window_exchange: bool = True
     ranks_per_node: int = 4
+    #: How many same-route send epochs (stages) the schedule can leave
+    #: outstanding at once: 1 when a fence drains every stage (the rdma
+    #: window-exchange discipline), 3 when borders/forward/reverse can
+    #: all be in flight together (CL009 checks capacity against it).
+    inflight_epochs: int = 3
     cq_bindings: tuple[tuple[int, int], ...] | None = None
 
 
@@ -829,7 +877,7 @@ def _cfg_finding(profile: CommProfile, rule: str, message: str, detail: str = ""
 
 
 def lint_config(profile: CommProfile) -> list[Finding]:
-    """Run the CL001–CL008 feasibility rules on one configuration.
+    """Run the CL001–CL009 feasibility rules on one configuration.
 
     Returns the (possibly empty) finding list; never raises on an
     infeasible profile — infeasibility IS the finding.
@@ -972,6 +1020,28 @@ def lint_config(profile: CommProfile) -> list[Finding]:
         findings.append(_cfg_finding(
             profile, "CL008",
             f"in-budget request grew the pool (grow_events={pool.grow_events})",
+        ))
+
+    # CL009: per-route in-flight capacity (ring depth x slot size) must
+    # cover the worst-case burst the send schedule can leave outstanding
+    # (inflight_epochs stage-epochs of the worst message) — the static
+    # precursor to protomc's exact P3 bound.
+    capacity = profile.ring_depth * per_message
+    burst = profile.inflight_epochs * worst
+    if profile.inflight_epochs < 1:
+        findings.append(_cfg_finding(
+            profile, "CL009",
+            f"inflight_epochs {profile.inflight_epochs} < 1",
+        ))
+    elif capacity < burst:
+        findings.append(_cfg_finding(
+            profile, "CL009",
+            f"in-flight capacity {profile.ring_depth} x {per_message} = "
+            f"{capacity} atoms is below the worst-case burst "
+            f"{profile.inflight_epochs} x {worst:.1f} = {burst:.1f}",
+            "an adversarially delayed drain overflows the route's ring "
+            "slots; raise ring_depth or fence between stages "
+            "(repro verify proves the exact bound per scenario)",
         ))
     return findings
 

@@ -88,6 +88,28 @@ class AnalysisReport:
         """True when no finding of any severity was recorded."""
         return not self.findings
 
+    def normalize(self) -> None:
+        """Sort and dedupe findings so merged reports are byte-stable.
+
+        Merging commlint + race-detector + protomc findings must yield
+        the same JSON no matter which tool ran first (or twice): order
+        by ``(rule, location, message)`` and drop exact repeats of that
+        key.  Coverage lists are normalized the same way.
+        """
+        seen: set[tuple[str, str, int, str]] = set()
+        unique: list[Finding] = []
+        for f in sorted(
+            self.findings,
+            key=lambda f: (f.rule, f.path, f.line, f.message, f.severity, f.detail),
+        ):
+            key = (f.rule, f.path, f.line, f.message)
+            if key in seen:
+                continue
+            seen.add(key)
+            unique.append(f)
+        self.findings = unique
+        self.files_analyzed = sorted(set(self.files_analyzed))
+
     def by_rule(self) -> dict[str, int]:
         """Finding count per rule ID (sorted keys)."""
         out: dict[str, int] = {}

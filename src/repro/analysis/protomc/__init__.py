@@ -1,0 +1,53 @@
+"""Explicit-state communication-protocol model checker (P1–P4).
+
+Extracts per-rank send/recv/fence programs from scenarios, comm
+profiles, or live exchanges (:mod:`~repro.analysis.protomc.extract`),
+exhaustively explores their interleavings with partial-order reduction
+(:mod:`~repro.analysis.protomc.checker`), and renders violations as
+``repro-analysis/1`` findings.  ``python -m repro verify`` runs it over
+the scenario fleet; validation level ``L2.5`` runs it per scenario.
+"""
+
+from repro.analysis.protomc.checker import (
+    Counterexample,
+    VerifyResult,
+    findings_from,
+    replay,
+    verify_model,
+    verify_scenario,
+)
+from repro.analysis.protomc.extract import (
+    build_programs,
+    degradation_ladder,
+    model_from_exchange,
+    model_from_profile,
+    model_from_scenario,
+)
+from repro.analysis.protomc.model import PROPERTIES, CommModel, Op
+from repro.analysis.protomc.mutations import (
+    MUTATIONS,
+    MutationOutcome,
+    base_model,
+    run_mutation_battery,
+)
+
+__all__ = [
+    "MUTATIONS",
+    "PROPERTIES",
+    "CommModel",
+    "Counterexample",
+    "MutationOutcome",
+    "Op",
+    "VerifyResult",
+    "base_model",
+    "build_programs",
+    "degradation_ladder",
+    "findings_from",
+    "model_from_exchange",
+    "model_from_profile",
+    "model_from_scenario",
+    "replay",
+    "run_mutation_battery",
+    "verify_model",
+    "verify_scenario",
+]

@@ -265,6 +265,10 @@ def main(argv=None) -> int:
         from repro.scenarios.cli import main as scenarios_main
 
         return scenarios_main(argv[1:])
+    if argv[:1] == ["verify"]:
+        from repro.analysis.protomc.cli import main as verify_main
+
+        return verify_main(argv[1:])
     args = build_parser().parse_args(argv)
     from repro.obs.telemetry import TELEMETRY
 

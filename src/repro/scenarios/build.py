@@ -10,10 +10,20 @@ per-rank atom order.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
+if TYPE_CHECKING:
+    from repro.core.exchange_base import GhostExchange
+    from repro.md import Box, Domain, Simulation
+    from repro.perfmodel.stagemodel import Workload
+    from repro.runtime import World
 
-def random_system(n_atoms: int, seed: int, box_edge: float = 9.0):
+
+def random_system(
+    n_atoms: int, seed: int, box_edge: float = 9.0
+) -> tuple[np.ndarray, np.ndarray, Box]:
     """The legacy randomized system: uniform positions, drift-free
     normal velocities, cubic box."""
     from repro.md import Box
@@ -25,7 +35,12 @@ def random_system(n_atoms: int, seed: int, box_edge: float = 9.0):
     return x, v, Box((0, 0, 0), (box_edge,) * 3)
 
 
-def build_world(grid, x, v, box_edge: float = 9.0):
+def build_world(
+    grid: tuple[int, ...] | list[int],
+    x: np.ndarray,
+    v: np.ndarray,
+    box_edge: float = 9.0,
+) -> tuple[World, Domain]:
     """Scatter one system over a rank grid (legacy-identical order)."""
     from repro.md import Box, Domain
     from repro.md.atoms import Atoms
@@ -44,7 +59,7 @@ def build_world(grid, x, v, box_edge: float = 9.0):
     return world, domain
 
 
-def scenario_system(scenario: dict):
+def scenario_system(scenario: dict) -> tuple[np.ndarray, np.ndarray, Box]:
     """``(x, v, box)`` for one executable scenario document."""
     p = scenario["params"]
     return random_system(
@@ -52,7 +67,9 @@ def scenario_system(scenario: dict):
     )
 
 
-def scenario_world(scenario: dict):
+def scenario_world(
+    scenario: dict,
+) -> tuple[World, Domain, np.ndarray, np.ndarray, Box]:
     """``(world, domain, x, v, box)`` for one executable scenario."""
     p = scenario["params"]
     x, v, box = scenario_system(scenario)
@@ -60,7 +77,7 @@ def scenario_world(scenario: dict):
     return world, domain, x, v, box
 
 
-def scenario_exchange(scenario: dict, pattern: str = "p2p"):
+def scenario_exchange(scenario: dict, pattern: str = "p2p") -> GhostExchange:
     """A border-exchanged ghost exchange for one executable scenario."""
     from repro.core import FineGrainedP2PExchange, P2PExchange, ThreeStageExchange
 
@@ -79,7 +96,9 @@ def scenario_exchange(scenario: dict, pattern: str = "p2p"):
     return ex
 
 
-def scenario_simulation(scenario: dict, pattern: str | None = None):
+def scenario_simulation(
+    scenario: dict, pattern: str | None = None
+) -> Simulation:
     """A ready-to-run :class:`~repro.md.simulation.Simulation`."""
     from repro import LennardJones, Simulation, SimulationConfig
 
@@ -103,7 +122,7 @@ def scenario_simulation(scenario: dict, pattern: str | None = None):
     )
 
 
-def model_workload(scenario: dict):
+def model_workload(scenario: dict) -> Workload:
     """The perfmodel :class:`~repro.perfmodel.stagemodel.Workload` a
     ``model``-role scenario prices."""
     import dataclasses
@@ -119,7 +138,7 @@ def model_workload(scenario: dict):
     )
 
 
-def ghost_set(exchange, rank: int):
+def ghost_set(exchange: GhostExchange, rank: int) -> set[tuple[int, bytes]]:
     """The ghost region as a set of (tag, exact position) pairs."""
     atoms = exchange.atoms_of(rank)
     return {

@@ -38,7 +38,7 @@ def _geometry(grid: tuple[int, int, int]) -> dict:
     }
 
 
-def _equivalence_block(name: str, observability: str, sample) -> dict:
+def _equivalence_block(name: str, observability: str, sample: int | str) -> dict:
     return {
         "name": name,
         "role": "equivalence",

@@ -16,6 +16,10 @@ L1        commlint CL001–CL008 feasibility on the derived
 L2        model sanity: ``modeled_step_comm_time`` finite (executable
           roles), StageModel stage times finite and additive (model
           roles), GhostBudget-dominated buffers
+L2.5      protocol model checking: :mod:`repro.analysis.protomc`
+          exhaustively explores the scenario's send/recv/fence
+          interleavings and proves P1 (deadlock freedom), P2 (no
+          message leaks), P3 (buffer safety), P4 (ladder termination)
 L3        executable smoke: build the world, run a step, check the
           invariant the scenario's consuming gate relies on
 ========  ==============================================================
@@ -25,8 +29,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-LEVELS = ("L0", "L1", "L2", "L3")
+if TYPE_CHECKING:
+    from repro.analysis.commlint import CommProfile
+
+LEVELS = ("L0", "L1", "L2", "L2.5", "L3")
 
 #: rule/check -> what to change in the spec.  These are the "iterative
 #: fixing hints": a rejected scenario names the failing check and the
@@ -42,6 +50,18 @@ HINTS: dict[str, str] = {
              "rcomm <= stencil radius x sub-box edge",
     "CL008": "size buffers from the GhostBudget (raise atoms or box_edge "
              "so the analytic maximum dominates)",
+    "CL009": "raise params.ring_depth (or set params.inflight_epochs to "
+             "match the fenced schedule) so ring capacity covers the "
+             "worst-case same-route burst",
+    "P1": "restore the borders -> forward -> reverse stage order and keep "
+          "every send/recv pair peer-symmetric: some interleaving blocks "
+          "all ranks on recv/fence",
+    "P2": "post a recv for every send on the route; an unconsumed message "
+          "stays in the remote ring past step end",
+    "P3": "raise params.ring_depth (or keep the rdma stage fences) so the "
+          "adversarial in-flight burst fits the pooled ring capacity",
+    "P4": "keep the degradation ladder an acyclic descent "
+          "(parallel-p2p -> p2p -> 3stage) with max_retries >= 1",
     "schema": "regenerate the scenario from a spec; hand-edited documents "
               "must keep the repro-scenario/1 shape",
     "geometry": "fix the geometry axis entry: 3 positive grid ints "
@@ -186,7 +206,7 @@ def check_l0(scenario: dict) -> list[ValidationIssue]:
 
 
 # -- L1: commlint feasibility ----------------------------------------------
-def comm_profile(scenario: dict):
+def comm_profile(scenario: dict) -> CommProfile:
     """Derive the :class:`~repro.analysis.commlint.CommProfile` L1 lints."""
     from repro.analysis.commlint import CommProfile
     from repro.scenarios.build import (
@@ -222,6 +242,11 @@ def comm_profile(scenario: dict):
         rdma=bool(p.get("rdma", False)),
         window_exchange=bool(p.get("window_exchange", True)),
         ranks_per_node=ranks_per_node,
+        # The rdma plane fences at every stage end, draining the rings;
+        # the message transport can leave all three stages outstanding.
+        inflight_epochs=int(
+            p.get("inflight_epochs", 1 if p.get("rdma", False) else 3)
+        ),
     )
 
 
@@ -285,6 +310,32 @@ def check_l2(scenario: dict) -> list[ValidationIssue]:
                 scenario, "L2", "comm-time",
                 f"modeled_step_comm_time = {t!r}, expected finite > 0",
             ))
+    return issues
+
+
+# -- L2.5: protocol model checking ------------------------------------------
+def check_l25(scenario: dict) -> list[ValidationIssue]:
+    """Model-check the scenario's communication protocol (P1–P4).
+
+    Extracts the per-rank send/recv/fence programs implied by the
+    scenario and exhaustively explores their interleavings
+    (:mod:`repro.analysis.protomc`).  Every counterexample becomes one
+    rejection named after the violated property; an exhausted state
+    budget rejects too — "unproven" is not "proven".
+    """
+    from repro.analysis.protomc.checker import verify_scenario
+
+    result = verify_scenario(scenario, max_states=300_000, budget_s=20.0)
+    issues = [
+        _issue(scenario, "L2.5", c.prop, c.detail)
+        for c in result.counterexamples
+    ]
+    if result.incomplete:
+        issues.append(_issue(
+            scenario, "L2.5", "P1",
+            f"state budget exhausted after {result.states} transition(s) — "
+            "deadlock freedom unproven",
+        ))
     return issues
 
 
@@ -353,7 +404,13 @@ def check_l3(scenario: dict) -> list[ValidationIssue]:
     return issues
 
 
-_CHECKS = {"L0": check_l0, "L1": check_l1, "L2": check_l2, "L3": check_l3}
+_CHECKS = {
+    "L0": check_l0,
+    "L1": check_l1,
+    "L2": check_l2,
+    "L2.5": check_l25,
+    "L3": check_l3,
+}
 
 
 def validate_scenario(scenario: dict, level: str = "L2") -> list[ValidationIssue]:

@@ -163,6 +163,7 @@ def run_selfcheck(
     _telemetry_checks(report, x, v, box, steps=max(steps // 2, 5))
     _scaling_observatory_checks(report, x, v, box)
     _fleet_checks(report)
+    _protomc_checks(report)
     if fault_plan is not None:
         _fault_checks(report, x, v, box, fault_plan)
     return report
@@ -782,6 +783,91 @@ def _fleet_checks(report: SelfCheckReport) -> None:
         "fleet fault scenario: template plan absorbed bit-identically",
         not issues,
         issues[0].render() if issues else fault_scenario["id"],
+    )
+
+
+def _protomc_checks(report: SelfCheckReport) -> None:
+    """Protocol model-checker battery (protomc P1–P4).
+
+    Four checks pin the checker the ``protocol-verify`` CI gate and the
+    ``L2.5`` validation level rely on: a clean model proves all four
+    properties, every seeded protocol mutation is caught by its *named*
+    property with a replayable counterexample, a sampled fleet scenario
+    verifies end-to-end, and the arithmetic extraction agrees with the
+    live route tables (Table 1 message counts) on a real exchange.
+    """
+    from repro.analysis.protomc import (
+        base_model,
+        model_from_exchange,
+        replay,
+        run_mutation_battery,
+        verify_model,
+        verify_scenario,
+    )
+    from repro.analysis.protomc.model import SEND
+    from repro.scenarios import default_fleet
+    from repro.scenarios.build import scenario_exchange
+
+    clean = verify_model(base_model())
+    report.add(
+        "protomc: clean rdma p2p model proves P1-P4",
+        clean.ok,
+        f"{clean.states} state(s), {clean.wall_ms:.1f}ms",
+    )
+
+    outcomes = run_mutation_battery()
+    missed = [o for o in outcomes if not o.ok]
+    report.add(
+        "protomc: every seeded mutation caught by its named property",
+        not missed,
+        ", ".join(o.render() for o in missed)
+        or f"{len(outcomes)} mutation(s) caught + replayed",
+    )
+
+    fleet = default_fleet()
+    sampled = next(
+        s for s in fleet
+        if s["role"] == "equivalence"
+        and s["tier"] == "sampled"
+        and s["params"]["grid"] != [1, 1, 1]  # >1 rank: a real state space
+    )
+    result = verify_scenario(sampled, max_states=200_000, budget_s=20.0)
+    confirmed = all(replay_ok for replay_ok in (
+        replay(base_model(), c) for c in result.counterexamples
+    ))
+    report.add(
+        "protomc: sampled fleet scenario verifies end-to-end",
+        result.ok and confirmed,
+        f"{sampled['id']}: {result.states} state(s), {result.wall_ms:.1f}ms",
+    )
+
+    eq = next(
+        s for s in fleet
+        if s["role"] == "equivalence"
+        and tuple(s["params"]["grid"]) == (2, 2, 2)
+        and s["params"]["newton"]  # Table 1 counts are the half-shell ones
+    )
+    live_models = {}
+    for pattern, expected in (("p2p", 13), ("3stage", 6)):
+        ex = scenario_exchange(eq, pattern)
+        ex.borders()
+        live = model_from_exchange(ex, label=f"selfcheck/{pattern}")
+        border_sends = sum(
+            1 for op in live.programs[0]
+            if op.kind == SEND and op.stage == "borders"
+        )
+        live_models[pattern] = (live, border_sends, expected)
+    live_ok = all(
+        got == expected and verify_model(m).ok
+        for m, got, expected in live_models.values()
+    )
+    report.add(
+        "protomc: live route extraction matches Table 1 and verifies",
+        live_ok,
+        ", ".join(
+            f"{p}: {got}/{expected} border sends"
+            for p, (_, got, expected) in live_models.items()
+        ),
     )
 
 

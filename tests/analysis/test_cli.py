@@ -135,3 +135,94 @@ class TestSelfcheckExitContract:
         assert hasattr(selfcheck, "_analysis_checks")
         source = inspect.getsource(selfcheck.run_selfcheck)
         assert "_analysis_checks" in source
+
+
+class TestFindingDeterminism:
+    """Merged findings must serialize byte-identically run to run."""
+
+    @staticmethod
+    def _finding(rule, path, message, line=1):
+        from repro.analysis.findings import Finding
+
+        return Finding(rule=rule, path=path, line=line, message=message)
+
+    def test_normalize_is_order_independent(self):
+        from repro.analysis.findings import AnalysisReport
+
+        items = [
+            self._finding("CL004", "b.py", "stage order"),
+            self._finding("CL001", "a.py", "ring depth"),
+            self._finding("HB001", "<trace>", "fence overlap"),
+            self._finding("CL001", "a.py", "another depth", line=9),
+        ]
+        forward = AnalysisReport(tool="analyze")
+        backward = AnalysisReport(tool="analyze")
+        for f in items:
+            forward.add(f)
+        for f in reversed(items):
+            backward.add(f)
+        forward.normalize()
+        backward.normalize()
+        assert forward.render_json() == backward.render_json()
+
+    def test_normalize_dedupes_identical_findings(self):
+        from repro.analysis.findings import AnalysisReport
+
+        report = AnalysisReport(tool="analyze")
+        report.add(self._finding("CL001", "a.py", "ring depth"))
+        report.add(self._finding("CL001", "a.py", "ring depth"))
+        report.normalize()
+        assert len(report.findings) == 1
+
+    def test_analyze_json_is_byte_stable(self, capsys):
+        """Two identical invocations print identical bytes."""
+        assert analyze_main(["--no-dynamic", "--json"]) == 0
+        first = capsys.readouterr().out
+        assert analyze_main(["--no-dynamic", "--json"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestVerifyCli:
+    """`repro verify` wiring: scenario filters, reports, mutations."""
+
+    SMALL = "equivalence-off/g2x1x1/c1.3/newton-on/off"
+
+    def test_single_scenario_proves_and_exits_zero(self, capsys):
+        from repro.analysis.protomc.cli import main as verify_main
+
+        assert verify_main(["--scenario", self.SMALL]) == 0
+        out = capsys.readouterr().out
+        assert f"verify {self.SMALL}" in out and ": ok states=" in out
+        assert "1/1 scenario(s) proven" in out
+
+    def test_report_document_shape(self, tmp_path, capsys):
+        from repro.analysis.protomc.cli import REPORT_SCHEMA
+        from repro.analysis.protomc.cli import main as verify_main
+
+        path = tmp_path / "verify.json"
+        assert verify_main(
+            ["--scenario", self.SMALL, "--quiet", "--report", str(path)]
+        ) == 0
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == REPORT_SCHEMA
+        assert doc["summary"]["checked"] == 1
+        assert doc["summary"]["proven"] == 1
+        assert doc["scenarios"][0]["ok"] is True
+
+    def test_unknown_scenario_exits_two(self, capsys):
+        from repro.analysis.protomc.cli import main as verify_main
+
+        assert verify_main(["--scenario", "no/such/scenario"]) == 2
+
+    def test_mutation_battery_exits_zero(self, capsys):
+        from repro.analysis.protomc.cli import main as verify_main
+
+        assert verify_main(["--mutations"]) == 0
+        out = capsys.readouterr().out
+        assert "5/5 caught" in out
+
+    def test_repro_cli_routes_verify(self, capsys):
+        assert repro_cli.main(
+            ["verify", "--scenario", self.SMALL, "--quiet"]
+        ) == 0

@@ -236,7 +236,7 @@ class TestCleanTree:
 
 class TestReportSchema:
     def test_every_rule_has_a_catalog_entry(self):
-        assert sorted(RULES) == [f"CL{n:03d}" for n in range(1, 9)]
+        assert sorted(RULES) == [f"CL{n:03d}" for n in range(1, 10)]
 
     def test_json_document_shape(self):
         report = AnalysisReport(tool="commlint")
@@ -258,3 +258,56 @@ class TestReportSchema:
         report.add(Finding(rule="CL001", message="b"))
         report.add(Finding(rule="CL005", message="c"))
         assert report.by_rule() == {"CL001": 2, "CL005": 1}
+
+
+class TestInflightCapacity:
+    """CL009: ring capacity must absorb the worst-case same-route burst."""
+
+    @staticmethod
+    def _profile(**overrides):
+        from repro.analysis.commlint import CommProfile
+
+        base = dict(
+            label="cl009", sub_box_edge=3.36, rcomm=2.8, density=0.8442
+        )
+        base.update(overrides)
+        return CommProfile(**base)
+
+    def test_default_unfenced_profile_is_clean(self):
+        from repro.analysis.commlint import lint_config
+
+        assert rules_of(lint_config(self._profile())) == []
+
+    def test_fenced_rdma_profile_is_clean(self):
+        from repro.analysis.commlint import lint_config
+
+        profile = self._profile(rdma=True, inflight_epochs=1)
+        assert "CL009" not in rules_of(lint_config(profile))
+
+    def test_overcommitted_schedule_flags_cl009(self):
+        """A schedule leaving many epochs un-drained overflows 4 slots."""
+        from repro.analysis.commlint import lint_config
+
+        profile = self._profile(inflight_epochs=30)
+        assert "CL009" in rules_of(lint_config(profile))
+
+    def test_nonpositive_epochs_flag_cl009(self):
+        from repro.analysis.commlint import lint_config
+
+        profile = self._profile(inflight_epochs=0)
+        assert "CL009" in rules_of(lint_config(profile))
+
+    def test_static_literal_depth_below_epochs(self):
+        src = "ring = RecvBufferRing(engine, 0, cap, depth=4, inflight_epochs=6)\n"
+        assert rules_of(lint_source(src)) == ["CL009"]
+
+    def test_static_depth_covering_epochs_is_clean(self):
+        src = "ring = RecvBufferRing(engine, 0, cap, depth=6, inflight_epochs=3)\n"
+        assert lint_source(src) == []
+
+    def test_same_line_disable_hides_cl009(self):
+        src = (
+            "ring = RecvBufferRing(engine, 0, cap, depth=4, "
+            "inflight_epochs=6)  # commlint: disable=CL009\n"
+        )
+        assert lint_source(src) == []
